@@ -1,0 +1,149 @@
+// google-benchmark micro-benchmarks for the streaming-summary substrate:
+// insert/query throughput of Misra–Gries, SpaceSaving, sticky sampling,
+// GK, the compactor (algorithm A), and the Bernoulli sampler. These bound
+// the per-element processing cost a site pays in each protocol.
+
+#include <benchmark/benchmark.h>
+
+#include "disttrack/common/random.h"
+#include "disttrack/stream/zipf.h"
+#include "disttrack/summaries/bernoulli_summary.h"
+#include "disttrack/summaries/compactor_summary.h"
+#include "disttrack/summaries/gk_summary.h"
+#include "disttrack/summaries/misra_gries.h"
+#include "disttrack/summaries/reservoir.h"
+#include "disttrack/summaries/space_saving.h"
+#include "disttrack/summaries/sticky_sampling.h"
+
+namespace {
+
+using namespace disttrack;
+using namespace disttrack::summaries;
+
+std::vector<uint64_t> ZipfStream(size_t n, uint64_t seed) {
+  stream::ZipfGenerator zipf(100000, 1.1, seed);
+  std::vector<uint64_t> out(n);
+  for (auto& v : out) v = zipf.Next();
+  return out;
+}
+
+std::vector<uint64_t> UniformStream(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> out(n);
+  for (auto& v : out) v = rng.UniformU64(1ull << 24);
+  return out;
+}
+
+void BM_MisraGriesInsert(benchmark::State& state) {
+  auto data = ZipfStream(1 << 16, 3);
+  for (auto _ : state) {
+    MisraGries mg(static_cast<size_t>(state.range(0)));
+    for (uint64_t v : data) mg.Insert(v);
+    benchmark::DoNotOptimize(mg.NumCounters());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_MisraGriesInsert)->Arg(100)->Arg(1000);
+
+void BM_SpaceSavingInsert(benchmark::State& state) {
+  auto data = ZipfStream(1 << 16, 5);
+  for (auto _ : state) {
+    SpaceSaving ss(static_cast<size_t>(state.range(0)));
+    for (uint64_t v : data) ss.Insert(v);
+    benchmark::DoNotOptimize(ss.NumCounters());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_SpaceSavingInsert)->Arg(100)->Arg(1000);
+
+void BM_StickySamplingInsert(benchmark::State& state) {
+  auto data = ZipfStream(1 << 16, 7);
+  for (auto _ : state) {
+    StickySampling sticky(0.01, 11);
+    for (uint64_t v : data) sticky.Insert(v);
+    benchmark::DoNotOptimize(sticky.NumCounters());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_StickySamplingInsert);
+
+void BM_GKInsert(benchmark::State& state) {
+  auto data = UniformStream(1 << 16, 9);
+  double eps = 1.0 / static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    GKSummary gk(eps);
+    for (uint64_t v : data) gk.Insert(v);
+    benchmark::DoNotOptimize(gk.NumTuples());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_GKInsert)->Arg(100)->Arg(1000);
+
+void BM_CompactorInsert(benchmark::State& state) {
+  auto data = UniformStream(1 << 16, 11);
+  double eps = 1.0 / static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    CompactorSummary c(eps, 13);
+    for (uint64_t v : data) c.Insert(v);
+    benchmark::DoNotOptimize(c.SpaceWords());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_CompactorInsert)->Arg(100)->Arg(1000);
+
+void BM_CompactorQuery(benchmark::State& state) {
+  auto data = UniformStream(1 << 16, 15);
+  CompactorSummary c(0.01, 17);
+  for (uint64_t v : data) c.Insert(v);
+  uint64_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.EstimateRank(q));
+    q += 1 << 18;
+  }
+}
+BENCHMARK(BM_CompactorQuery);
+
+void BM_GKQuery(benchmark::State& state) {
+  auto data = UniformStream(1 << 16, 19);
+  GKSummary gk(0.01);
+  for (uint64_t v : data) gk.Insert(v);
+  uint64_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gk.EstimateRank(q));
+    q += 1 << 18;
+  }
+}
+BENCHMARK(BM_GKQuery);
+
+void BM_BernoulliInsert(benchmark::State& state) {
+  auto data = UniformStream(1 << 16, 21);
+  for (auto _ : state) {
+    BernoulliSampleSummary s(0.01, 23);
+    for (uint64_t v : data) s.Insert(v);
+    benchmark::DoNotOptimize(s.SampleSize());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_BernoulliInsert);
+
+void BM_ReservoirInsert(benchmark::State& state) {
+  auto data = UniformStream(1 << 16, 25);
+  for (auto _ : state) {
+    ReservoirSample r(1000, 27);
+    for (uint64_t v : data) r.Insert(v);
+    benchmark::DoNotOptimize(r.n());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_ReservoirInsert);
+
+}  // namespace
+
+BENCHMARK_MAIN();

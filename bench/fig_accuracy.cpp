@@ -1,0 +1,191 @@
+// Accuracy experiment for Theorems 2.1 / 3.1 / 4.1: the error-coverage
+// guarantee (|err| <= εn with probability >= 0.9 at a fixed time), the
+// confidence-factor communication/accuracy trade-off, and the median
+// booster sweep of §1.2 (all-times correctness from m independent copies).
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "disttrack/common/stats.h"
+
+namespace {
+
+using disttrack::CoverageWithin;
+using disttrack::RunningStats;
+using disttrack::core::Algorithm;
+using disttrack::core::TrackerOptions;
+using namespace disttrack::stream;
+namespace sim = disttrack::sim;
+namespace core = disttrack::core;
+
+}  // namespace
+
+int main() {
+  const int kSites = 16;
+  const double kEps = 0.02;
+  const uint64_t kN = 60000;
+  const int kTrials = 120;
+
+  std::printf("== Fixed-time coverage (Theorems 2.1 / 3.1 / 4.1) ==\n");
+  std::printf("(k = %d, eps = %.3f, n = %llu, %d trials; paper guarantee: "
+              "coverage >= 0.9)\n\n",
+              kSites, kEps, static_cast<unsigned long long>(kN), kTrials);
+  std::printf("%-12s %-14s %10s %12s %12s\n", "problem", "algorithm",
+              "coverage", "mean err", "std err");
+
+  // Count.
+  {
+    auto w = MakeCountWorkload(kSites, kN, SiteSchedule::kUniformRandom, 3);
+    for (auto algorithm : {Algorithm::kRandomized, Algorithm::kSampling}) {
+      std::vector<double> errors;
+      RunningStats stats;
+      for (int t = 0; t < kTrials; ++t) {
+        TrackerOptions o;
+        o.num_sites = kSites;
+        o.epsilon = kEps;
+        o.seed = 100 + static_cast<uint64_t>(t);
+        std::unique_ptr<sim::CountTrackerInterface> tracker;
+        (void)core::MakeCountTracker(algorithm, o, &tracker);
+        for (const auto& a : w) tracker->Arrive(a.site);
+        double err = tracker->EstimateCount() - static_cast<double>(kN);
+        errors.push_back(err);
+        stats.Add(err);
+      }
+      std::printf("%-12s %-14s %10.3f %12.1f %12.1f\n", "count",
+                  core::AlgorithmName(algorithm).c_str(),
+                  CoverageWithin(errors, kEps * static_cast<double>(kN)),
+                  stats.Mean(), stats.StdDev());
+    }
+  }
+
+  // Frequency (planted heavy item = 25% of the stream).
+  {
+    std::vector<uint64_t> counts{kN / 4, kN / 8, kN / 16};
+    counts.push_back(kN - counts[0] - counts[1] - counts[2]);
+    auto w = MakePlantedFrequencyWorkload(kSites, counts,
+                                          SiteSchedule::kUniformRandom, 5);
+    for (auto algorithm : {Algorithm::kRandomized, Algorithm::kSampling}) {
+      std::vector<double> errors;
+      RunningStats stats;
+      for (int t = 0; t < kTrials; ++t) {
+        TrackerOptions o;
+        o.num_sites = kSites;
+        o.epsilon = kEps;
+        o.seed = 200 + static_cast<uint64_t>(t);
+        std::unique_ptr<sim::FrequencyTrackerInterface> tracker;
+        (void)core::MakeFrequencyTracker(algorithm, o, &tracker);
+        for (const auto& a : w) tracker->Arrive(a.site, a.key);
+        double err =
+            tracker->EstimateFrequency(0) - static_cast<double>(counts[0]);
+        errors.push_back(err);
+        stats.Add(err);
+      }
+      std::printf("%-12s %-14s %10.3f %12.1f %12.1f\n", "frequency",
+                  core::AlgorithmName(algorithm).c_str(),
+                  CoverageWithin(errors, kEps * static_cast<double>(w.size())),
+                  stats.Mean(), stats.StdDev());
+    }
+  }
+
+  // Rank (median query).
+  {
+    auto w = MakeRankWorkload(kSites, kN, SiteSchedule::kUniformRandom,
+                              ValueOrder::kUniformRandom, 16, 7);
+    const uint64_t x = 1 << 15;
+    double truth = static_cast<double>(ExactRank(w, x));
+    for (auto algorithm : {Algorithm::kRandomized, Algorithm::kSampling}) {
+      std::vector<double> errors;
+      RunningStats stats;
+      for (int t = 0; t < kTrials; ++t) {
+        TrackerOptions o;
+        o.num_sites = kSites;
+        o.epsilon = kEps;
+        o.seed = 300 + static_cast<uint64_t>(t);
+        std::unique_ptr<sim::RankTrackerInterface> tracker;
+        (void)core::MakeRankTracker(algorithm, o, &tracker);
+        for (const auto& a : w) tracker->Arrive(a.site, a.key);
+        double err = tracker->EstimateRank(x) - truth;
+        errors.push_back(err);
+        stats.Add(err);
+      }
+      std::printf("%-12s %-14s %10.3f %12.1f %12.1f\n", "rank",
+                  core::AlgorithmName(algorithm).c_str(),
+                  CoverageWithin(errors, kEps * static_cast<double>(kN)),
+                  stats.Mean(), stats.StdDev());
+    }
+  }
+
+  // Confidence-factor trade-off (count): communication ~ c, error std ~ 1/c.
+  std::printf("\n== Confidence factor c: accuracy vs communication "
+              "(randomized count) ==\n");
+  std::printf("%6s %12s %12s %10s\n", "c", "messages", "std err",
+              "coverage");
+  {
+    auto w = MakeCountWorkload(kSites, kN, SiteSchedule::kUniformRandom, 9);
+    for (double c : {1.0, 2.0, 4.0, 8.0}) {
+      std::vector<double> errors;
+      uint64_t messages = 0;
+      for (int t = 0; t < kTrials; ++t) {
+        TrackerOptions o;
+        o.num_sites = kSites;
+        o.epsilon = kEps;
+        o.seed = 400 + static_cast<uint64_t>(t);
+        o.confidence_factor = c;
+        std::unique_ptr<sim::CountTrackerInterface> tracker;
+        (void)core::MakeCountTracker(Algorithm::kRandomized, o, &tracker);
+        for (const auto& a : w) tracker->Arrive(a.site);
+        errors.push_back(tracker->EstimateCount() - static_cast<double>(kN));
+        messages += tracker->meter().TotalMessages();
+      }
+      RunningStats stats;
+      for (double e : errors) stats.Add(e);
+      std::printf("%6.1f %12llu %12.1f %10.3f\n", c,
+                  static_cast<unsigned long long>(messages / kTrials),
+                  stats.StdDev(),
+                  CoverageWithin(errors, kEps * static_cast<double>(kN)));
+    }
+  }
+
+  // Median booster sweep (§1.2): worst checkpoint error over the whole run.
+  std::printf("\n== Median booster (all-times correctness, §1.2) ==\n");
+  std::printf("%8s %12s %16s %12s\n", "copies", "messages",
+              "worst-rel (max)", "miss rate");
+  {
+    auto w = MakeCountWorkload(kSites, kN, SiteSchedule::kUniformRandom, 11);
+    for (int copies : {1, 3, 5, 9}) {
+      double worst = 0;
+      int misses = 0;
+      uint64_t messages = 0;
+      const int kRuns = 30;
+      for (int t = 0; t < kRuns; ++t) {
+        TrackerOptions o;
+        o.num_sites = kSites;
+        o.epsilon = kEps;
+        o.seed = 500 + static_cast<uint64_t>(t);
+        o.median_copies = copies;
+        std::unique_ptr<sim::CountTrackerInterface> tracker;
+        (void)core::MakeCountTracker(Algorithm::kRandomized, o, &tracker);
+        auto checkpoints = sim::ReplayCount(tracker.get(), w, 1.3);
+        double run_worst = 0;
+        for (const auto& cp : checkpoints) {
+          if (cp.n < 2000) continue;
+          double rel = std::fabs(cp.estimate - cp.truth) /
+                       static_cast<double>(cp.n);
+          run_worst = std::max(run_worst, rel);
+        }
+        worst = std::max(worst, run_worst);
+        if (run_worst > kEps) ++misses;
+        messages += tracker->meter().TotalMessages();
+      }
+      std::printf("%8d %12llu %16.4f %12.3f\n", copies,
+                  static_cast<unsigned long long>(messages / kRuns), worst,
+                  static_cast<double>(misses) / kRuns);
+    }
+  }
+  std::printf("\n(Expected: std err ~ eps*n/c; booster drives the all-times "
+              "miss rate toward 0 at ~copies x communication.)\n");
+  return 0;
+}

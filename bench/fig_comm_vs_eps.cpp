@@ -1,0 +1,83 @@
+// Figure series: total communication vs 1/ε at fixed k and N.
+// Expected shapes (Table 1): deterministic and randomized tracking grow
+// ~1/ε; the sampling baseline grows ~1/ε² — the reason tracking wins
+// whenever k = o(1/ε²) (§1.2).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "disttrack/common/stats.h"
+
+namespace {
+
+using disttrack::LogLogSlope;
+using disttrack::bench::RunCount;
+using disttrack::bench::RunFrequency;
+using disttrack::core::Algorithm;
+using disttrack::core::TrackerOptions;
+using namespace disttrack::stream;
+
+}  // namespace
+
+int main() {
+  const int kSites = 16;
+  const uint64_t kN = 1ull << 19;
+  std::printf("== Communication vs 1/eps ==  (k = %d, N = %llu, messages)\n",
+              kSites, static_cast<unsigned long long>(kN));
+
+  std::printf("\n-- count --\n");
+  std::printf("%10s %14s %14s %14s\n", "1/eps", "deterministic",
+              "randomized", "sampling");
+  std::vector<double> inv_eps;
+  std::vector<std::vector<double>> series(3);
+  for (double eps : {0.08, 0.04, 0.02, 0.01, 0.005}) {
+    auto w = MakeCountWorkload(kSites, kN, SiteSchedule::kUniformRandom, 29);
+    TrackerOptions o;
+    o.num_sites = kSites;
+    o.epsilon = eps;
+    o.seed = 11;
+    double det = static_cast<double>(
+        RunCount(Algorithm::kDeterministic, o, w).messages);
+    double rnd = static_cast<double>(
+        RunCount(Algorithm::kRandomized, o, w).messages);
+    double smp = static_cast<double>(
+        RunCount(Algorithm::kSampling, o, w).messages);
+    std::printf("%10.0f %14.0f %14.0f %14.0f\n", 1.0 / eps, det, rnd, smp);
+    inv_eps.push_back(1.0 / eps);
+    series[0].push_back(det);
+    series[1].push_back(rnd);
+    series[2].push_back(smp);
+  }
+  std::printf("%10s %14.2f %14.2f %14.2f   <- log-log slope "
+              "(theory: 1.0 / 1.0 / 2.0)\n",
+              "slope", LogLogSlope(inv_eps, series[0]),
+              LogLogSlope(inv_eps, series[1]),
+              LogLogSlope(inv_eps, series[2]));
+
+  std::printf("\n-- frequency --\n");
+  std::printf("%10s %14s %14s\n", "1/eps", "deterministic", "randomized");
+  inv_eps.clear();
+  series.assign(2, {});
+  for (double eps : {0.08, 0.04, 0.02, 0.01}) {
+    auto w = MakeFrequencyWorkload(kSites, 1ull << 17,
+                                   SiteSchedule::kUniformRandom, 1000, 1.2,
+                                   31);
+    TrackerOptions o;
+    o.num_sites = kSites;
+    o.epsilon = eps;
+    o.seed = 11;
+    double det = static_cast<double>(
+        RunFrequency(Algorithm::kDeterministic, o, w, 0).messages);
+    double rnd = static_cast<double>(
+        RunFrequency(Algorithm::kRandomized, o, w, 0).messages);
+    std::printf("%10.0f %14.0f %14.0f\n", 1.0 / eps, det, rnd);
+    inv_eps.push_back(1.0 / eps);
+    series[0].push_back(det);
+    series[1].push_back(rnd);
+  }
+  std::printf("%10s %14.2f %14.2f   <- log-log slope (theory: 1.0 / 1.0)\n",
+              "slope", LogLogSlope(inv_eps, series[0]),
+              LogLogSlope(inv_eps, series[1]));
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Figure series: total communication vs number of sites k, for all three
+// problems and all three algorithm families on identical workloads.
+// Expected shapes (Table 1): deterministic ~ k, randomized ~ √k,
+// sampling ~ k-independent uploads (+ k·logN broadcast floor).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "disttrack/common/stats.h"
+
+namespace {
+
+using disttrack::LogLogSlope;
+using disttrack::bench::RunCount;
+using disttrack::bench::RunFrequency;
+using disttrack::bench::RunRank;
+using disttrack::core::Algorithm;
+using disttrack::core::TrackerOptions;
+using namespace disttrack::stream;
+
+void PrintSeries(const char* problem, const std::vector<int>& ks,
+                 const std::vector<std::vector<double>>& series) {
+  std::printf("\n-- %s --\n", problem);
+  std::printf("%8s %14s %14s %14s\n", "k", "deterministic", "randomized",
+              "sampling");
+  for (size_t i = 0; i < ks.size(); ++i) {
+    std::printf("%8d %14.0f %14.0f %14.0f\n", ks[i], series[0][i],
+                series[1][i], series[2][i]);
+  }
+  std::vector<double> kd(ks.begin(), ks.end());
+  std::printf("%8s %14.2f %14.2f %14.2f   <- log-log slope "
+              "(theory: 1.0 / 0.5 / ~0)\n",
+              "slope", LogLogSlope(kd, series[0]), LogLogSlope(kd, series[1]),
+              LogLogSlope(kd, series[2]));
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<int> kKs{4, 16, 64, 256};
+  std::printf("== Communication vs k ==  (messages; N and eps fixed per "
+              "problem)\n");
+
+  {  // Count: eps = 0.01, N = 2^19.
+    std::vector<std::vector<double>> series(3);
+    for (int k : kKs) {
+      auto w = MakeCountWorkload(k, 1ull << 19, SiteSchedule::kUniformRandom,
+                                 17 + static_cast<uint64_t>(k));
+      TrackerOptions o;
+      o.num_sites = k;
+      o.epsilon = 0.01;
+      o.seed = 3;
+      series[0].push_back(
+          static_cast<double>(RunCount(Algorithm::kDeterministic, o, w).messages));
+      series[1].push_back(
+          static_cast<double>(RunCount(Algorithm::kRandomized, o, w).messages));
+      series[2].push_back(
+          static_cast<double>(RunCount(Algorithm::kSampling, o, w).messages));
+    }
+    PrintSeries("count (eps = 0.01, N = 2^19)", kKs, series);
+  }
+
+  {  // Frequency: eps = 0.02, N = 2^17.
+    std::vector<std::vector<double>> series(3);
+    for (int k : kKs) {
+      auto w = MakeFrequencyWorkload(k, 1ull << 17,
+                                     SiteSchedule::kUniformRandom, 1000, 1.2,
+                                     19 + static_cast<uint64_t>(k));
+      TrackerOptions o;
+      o.num_sites = k;
+      o.epsilon = 0.02;
+      o.seed = 3;
+      series[0].push_back(static_cast<double>(
+          RunFrequency(Algorithm::kDeterministic, o, w, 0).messages));
+      series[1].push_back(static_cast<double>(
+          RunFrequency(Algorithm::kRandomized, o, w, 0).messages));
+      series[2].push_back(static_cast<double>(
+          RunFrequency(Algorithm::kSampling, o, w, 0).messages));
+    }
+    PrintSeries("frequency (eps = 0.02, N = 2^17)", kKs, series);
+  }
+
+  {  // Rank: eps = 0.05, N = 2^16, 10-bit universe.
+    std::vector<std::vector<double>> series(3);
+    for (int k : kKs) {
+      auto w = MakeRankWorkload(k, 1ull << 16, SiteSchedule::kUniformRandom,
+                                ValueOrder::kUniformRandom, 10,
+                                23 + static_cast<uint64_t>(k));
+      TrackerOptions o;
+      o.num_sites = k;
+      o.epsilon = 0.05;
+      o.seed = 3;
+      o.universe_bits = 10;
+      series[0].push_back(static_cast<double>(
+          RunRank(Algorithm::kDeterministic, o, w, 512).messages));
+      series[1].push_back(static_cast<double>(
+          RunRank(Algorithm::kRandomized, o, w, 512).messages));
+      series[2].push_back(static_cast<double>(
+          RunRank(Algorithm::kSampling, o, w, 512).messages));
+    }
+    PrintSeries("rank (eps = 0.05, N = 2^16, 10-bit universe)", kKs, series);
+    std::printf("   (note: the deterministic rank baseline is saturated at "
+                "this N — its drift thresholds floor at 1 and it forwards "
+                "~levels words per element, flattening its k-slope; its "
+                "absolute cost is already the largest of the three.)\n");
+  }
+  return 0;
+}

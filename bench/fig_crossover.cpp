@@ -1,0 +1,61 @@
+// The §1.2 regime map: random sampling [9] costs O(1/ε²·logN) while the
+// randomized tracker costs O(√k/ε·logN); sampling therefore wins exactly
+// when k = Ω(1/ε²). This harness sweeps a (k, ε) grid and prints the
+// winner, locating the crossover curve k ≈ 1/ε².
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+using disttrack::bench::RunCount;
+using disttrack::core::Algorithm;
+using disttrack::core::TrackerOptions;
+using namespace disttrack::stream;
+
+}  // namespace
+
+int main() {
+  const uint64_t kN = 1ull << 18;
+  std::printf("== Sampling vs randomized tracking: winner map (count, "
+              "N = %llu) ==\n\n",
+              static_cast<unsigned long long>(kN));
+  std::printf("Cell: T = tracking wins (fewer messages), S = sampling "
+              "wins; paper predicts S iff k = Omega(1/eps^2).\n\n");
+
+  const std::vector<int> ks{4, 16, 64, 256, 1024};
+  const std::vector<double> epss{0.2, 0.1, 0.05, 0.025};
+
+  std::printf("%10s", "k \\ 1/e^2");
+  for (double eps : epss) {
+    std::printf(" %11.0f", 1.0 / (eps * eps));
+  }
+  std::printf("\n");
+
+  for (int k : ks) {
+    std::printf("%10d", k);
+    for (double eps : epss) {
+      auto w = MakeCountWorkload(k, kN, SiteSchedule::kUniformRandom,
+                                 91 + static_cast<uint64_t>(k));
+      TrackerOptions o;
+      o.num_sites = k;
+      o.epsilon = eps;
+      o.seed = 17;
+      auto tracking = RunCount(Algorithm::kRandomized, o, w);
+      auto sampling = RunCount(Algorithm::kSampling, o, w);
+      double ratio = static_cast<double>(sampling.messages) /
+                     static_cast<double>(tracking.messages);
+      std::printf("   %c %6.2f", tracking.messages <= sampling.messages
+                                     ? 'T'
+                                     : 'S',
+                  ratio);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(Numbers are sampling/tracking message ratios; ratios < 1 "
+              "mean sampling is cheaper — expected toward the bottom-left, "
+              "where k exceeds 1/eps^2.)\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Lemma 2.2 / Claim A.1 / Figure 1 experiment: the 1-bit problem.
+//
+// s is k/2 + √k or k/2 - √k with equal probability; a coordinator that
+// probes z uniformly random sites sees a hypergeometric count whose two
+// conditional distributions (≈ the two normals of Figure 1) overlap almost
+// completely when z = o(k). We sweep z and print the empirical success
+// rate of the optimal threshold test — it stays near 1/2 until z ~ k,
+// reproducing the Ω(k) probe lower bound that anchors Theorem 2.4's
+// Ω(√k/ε · logN) message bound.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "disttrack/stream/hard_instances.h"
+
+namespace {
+
+namespace stream = disttrack::stream;
+
+}  // namespace
+
+int main() {
+  const int kSites = 1024;
+  const uint64_t kTrials = 4000;
+  std::printf("== Lemma 2.2 / Figure 1: distinguishing s = k/2 +- sqrt(k) "
+              "by probing z sites ==\n");
+  std::printf("(k = %d, %llu trials per z; optimal threshold test at the "
+              "density crossing)\n\n",
+              kSites, static_cast<unsigned long long>(kTrials));
+  std::printf("%8s %10s %14s %22s\n", "z", "z/k", "success rate",
+              "theory (Phi overlap)");
+
+  for (uint64_t z : {8ull, 32ull, 128ull, 256ull, 512ull, 768ull, 960ull,
+                     1016ull}) {
+    double rate = stream::OneBitSuccessRate(kSites, z, kTrials,
+                                            77 + z);
+    // Normal-approximation prediction: success = Phi(alpha z / sigma) with
+    // alpha = 1/sqrt(k), sigma^2 = z p q (1 - z/k) (finite-population).
+    double p = 0.5;
+    double fpc = 1.0 - static_cast<double>(z) / kSites;
+    double sigma = std::sqrt(static_cast<double>(z) * p * (1 - p) *
+                             (fpc <= 0 ? 1e-6 : fpc));
+    double shift = static_cast<double>(z) /
+                   std::sqrt(static_cast<double>(kSites));
+    double theory = 0.5 * std::erfc(-shift / (sigma * std::sqrt(2.0)));
+    std::printf("%8llu %10.3f %14.3f %22.3f\n",
+                static_cast<unsigned long long>(z),
+                static_cast<double>(z) / kSites, rate, theory);
+  }
+
+  std::printf("\nReading: success stays near 0.5 (coin flipping) while "
+              "z << k and only approaches the 0.8 requirement of "
+              "Definition 2.1 when z = Theta(k) — the Omega(k) sampling "
+              "bound of Claim A.1/Figure 1. Theorem 2.4 embeds one such "
+              "instance in each of its 1/(2 eps sqrt(k)) subrounds x logN "
+              "rounds, forcing Omega(sqrt(k)/eps logN) messages total.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Theorem 2.2 experiment: one-way protocols cannot beat Θ(k/ε·logN).
+//
+// We replay the hard distribution µ (case (a): everything at one uniformly
+// random site; case (b): round-robin) through
+//   * the trivial deterministic tracker — the optimal ONE-WAY protocol, and
+//   * the randomized tracker — which uses two-way traffic (broadcasts).
+// The randomized protocol's downstream traffic is reported separately,
+// demonstrating that its √k advantage is bought with coordinator->site
+// messages, exactly the resource Theorem 2.2 proves necessary.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "disttrack/common/stats.h"
+#include "disttrack/stream/hard_instances.h"
+
+namespace {
+
+using disttrack::RunningStats;
+using disttrack::bench::RunCount;
+using disttrack::core::Algorithm;
+using disttrack::core::TrackerOptions;
+namespace stream = disttrack::stream;
+
+}  // namespace
+
+int main() {
+  const int kSites = 64;
+  const double kEps = 0.02;
+  const uint64_t kN = 1ull << 18;
+  const int kTrials = 10;
+
+  std::printf("== Theorem 2.2: the hard distribution mu, one-way vs "
+              "two-way ==\n");
+  std::printf("(k = %d, eps = %.3f, N = %llu, %d draws of mu)\n\n", kSites,
+              kEps, static_cast<unsigned long long>(kN), kTrials);
+
+  RunningStats det_msgs_a, det_msgs_b, rnd_msgs_a, rnd_msgs_b, rnd_down;
+  for (int t = 0; t < kTrials; ++t) {
+    auto mu = stream::MakeMuInstance(kSites, kN, 1000 + static_cast<uint64_t>(t));
+    TrackerOptions o;
+    o.num_sites = kSites;
+    o.epsilon = kEps;
+    o.seed = 55 + static_cast<uint64_t>(t);
+    auto det = RunCount(Algorithm::kDeterministic, o, mu.workload);
+    auto rnd = RunCount(Algorithm::kRandomized, o, mu.workload);
+    if (mu.single_site_case) {
+      det_msgs_a.Add(static_cast<double>(det.messages));
+      rnd_msgs_a.Add(static_cast<double>(rnd.messages));
+    } else {
+      det_msgs_b.Add(static_cast<double>(det.messages));
+      rnd_msgs_b.Add(static_cast<double>(rnd.messages));
+    }
+    rnd_down.Add(static_cast<double>(rnd.downloads));
+  }
+
+  std::printf("%-34s %14s %14s\n", "protocol / mu case", "mean messages",
+              "draws");
+  std::printf("%-34s %14.0f %14llu\n", "one-way deterministic, case (a)",
+              det_msgs_a.Mean(),
+              static_cast<unsigned long long>(det_msgs_a.count()));
+  std::printf("%-34s %14.0f %14llu\n", "one-way deterministic, case (b)",
+              det_msgs_b.Mean(),
+              static_cast<unsigned long long>(det_msgs_b.count()));
+  std::printf("%-34s %14.0f %14llu\n", "two-way randomized, case (a)",
+              rnd_msgs_a.Mean(),
+              static_cast<unsigned long long>(rnd_msgs_a.count()));
+  std::printf("%-34s %14.0f %14llu\n", "two-way randomized, case (b)",
+              rnd_msgs_b.Mean(),
+              static_cast<unsigned long long>(rnd_msgs_b.count()));
+  std::printf("\nRandomized coordinator->site messages (mean): %.0f "
+              "(> 0: the protocol is genuinely two-way, as Theorem 2.2 "
+              "requires for any o(k/eps logN) protocol)\n",
+              rnd_down.Mean());
+
+  std::printf("\nTheory: any ONE-WAY protocol pays Omega(k/eps logN) = "
+              "~%.0f-message scale on mu; the deterministic rows realize "
+              "that scale, while the two-way randomized protocol stays "
+              "near sqrt(k)/eps logN on both cases.\n",
+              static_cast<double>(kSites) / kEps *
+                  std::log2(static_cast<double>(kN)) / 8);
+  return 0;
+}

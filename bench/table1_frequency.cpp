@@ -1,0 +1,102 @@
+// Table 1, frequency-tracking rows.
+//
+//   [29]: space O(1/ε)/site,      comm Θ(k/ε · logN)    (deterministic)
+//   new:  space O(1/(ε√k))/site,  comm O(√k/ε · logN)   (randomized, §3)
+//
+// Replays a Zipf item workload through both trackers over a k sweep, and
+// adds the estimator-(2) ablation of §3.1 showing the boundary bias that
+// the paper's estimator (4) removes.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "disttrack/common/stats.h"
+#include "disttrack/frequency/randomized_frequency.h"
+#include "disttrack/stream/workload.h"
+
+namespace {
+
+using disttrack::LogLogSlope;
+using disttrack::bench::PrintHeader;
+using disttrack::bench::PrintRow;
+using disttrack::bench::Rule;
+using disttrack::bench::RunFrequency;
+using disttrack::core::Algorithm;
+using disttrack::core::TrackerOptions;
+using disttrack::stream::MakeFrequencyWorkload;
+using disttrack::stream::MakePlantedFrequencyWorkload;
+using disttrack::stream::SiteSchedule;
+
+}  // namespace
+
+int main() {
+  const double kEps = 0.02;
+  const uint64_t kN = 1ull << 18;
+  std::printf("== Table 1 / frequency-tracking ==  (N = %llu, eps = %.3f, "
+              "Zipf(1.2) items)\n\n",
+              static_cast<unsigned long long>(kN), kEps);
+  PrintHeader();
+
+  std::vector<double> ks, det_msgs, rand_msgs, rand_space, det_space;
+  for (int k : {4, 16, 64}) {
+    auto w = MakeFrequencyWorkload(k, kN, SiteSchedule::kUniformRandom, 2000,
+                                   1.2, 777 + static_cast<uint64_t>(k));
+    TrackerOptions o;
+    o.num_sites = k;
+    o.epsilon = kEps;
+    o.seed = 42;
+    auto det = RunFrequency(Algorithm::kDeterministic, o, w, 0);
+    auto rnd = RunFrequency(Algorithm::kRandomized, o, w, 0);
+    PrintRow("deterministic [29]  k=" + std::to_string(k), det, kEps);
+    PrintRow("randomized (new)    k=" + std::to_string(k), rnd, kEps);
+    std::printf("%-34s ratio det/rand = %.2f   space det/rand = %.2f "
+                "(theory ~ sqrt(k))\n",
+                "",
+                static_cast<double>(det.messages) /
+                    static_cast<double>(rnd.messages),
+                static_cast<double>(det.max_site_space) /
+                    static_cast<double>(rnd.max_site_space));
+    Rule();
+    ks.push_back(k);
+    det_msgs.push_back(static_cast<double>(det.messages));
+    rand_msgs.push_back(static_cast<double>(rnd.messages));
+    det_space.push_back(static_cast<double>(det.max_site_space));
+    rand_space.push_back(static_cast<double>(rnd.max_site_space));
+  }
+
+  std::printf("\nGrowth exponents in k (log-log slope):\n");
+  std::printf("  deterministic comm : %.2f  (theory 1.0)\n",
+              LogLogSlope(ks, det_msgs));
+  std::printf("  randomized comm    : %.2f  (theory 0.5)\n",
+              LogLogSlope(ks, rand_msgs));
+  std::printf("  deterministic space: %.2f  (theory 0.0 — O(1/eps))\n",
+              LogLogSlope(ks, det_space));
+  std::printf("  randomized space   : %.2f  (theory -0.5 — O(1/(eps sqrt k)))\n",
+              LogLogSlope(ks, rand_space));
+
+  // Ablation: estimator (2) vs estimator (4) on mid-frequency items.
+  std::printf("\n-- Ablation: biased estimator (2) vs unbiased (4) (§3.1) --\n");
+  const int k = 16;
+  std::vector<uint64_t> counts(40, 400);
+  auto w = MakePlantedFrequencyWorkload(k, counts,
+                                        SiteSchedule::kUniformRandom, 31);
+  for (bool naive : {true, false}) {
+    disttrack::RunningStats err;
+    for (uint64_t seed = 0; seed < 60; ++seed) {
+      disttrack::frequency::RandomizedFrequencyOptions o;
+      o.num_sites = k;
+      o.epsilon = 0.05;
+      o.seed = seed + 1;
+      o.naive_boundary_estimator = naive;
+      disttrack::frequency::RandomizedFrequencyTracker tracker(o);
+      for (const auto& a : w) tracker.Arrive(a.site, a.key);
+      err.Add(tracker.EstimateFrequency(7) - 400.0);
+    }
+    std::printf("  estimator %s : mean error %+8.2f   (true f = 400)\n",
+                naive ? "(2) biased  " : "(4) unbiased", err.Mean());
+  }
+  std::printf("  -> the (2) branch drops the -d/p correction and "
+              "overestimates rare/mid items, as §3.1 predicts.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Small numeric helpers shared across protocols: the paper's floor-to-power-
+// of-two operator, log helpers, and safe division.
+
+#ifndef DISTTRACK_COMMON_MATH_UTIL_H_
+#define DISTTRACK_COMMON_MATH_UTIL_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace disttrack {
+
+/// The paper's ⌊x⌋₂ operator: the largest power of two that is <= x.
+/// Requires x >= 1 (returns 1 for x in [1, 2)).
+inline uint64_t FloorPow2(double x) {
+  uint64_t r = 1;
+  while (static_cast<double>(r) * 2.0 <= x) r <<= 1;
+  return r;
+}
+
+/// Smallest power of two >= x; requires x >= 1.
+inline uint64_t CeilPow2(uint64_t x) {
+  uint64_t r = 1;
+  while (r < x) r <<= 1;
+  return r;
+}
+
+/// True iff x is a power of two (and nonzero).
+inline bool IsPow2(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Ceil of log2(x) for integer x >= 1; CeilLog2(1) == 0.
+inline int CeilLog2(uint64_t x) {
+  int l = 0;
+  uint64_t r = 1;
+  while (r < x) {
+    r <<= 1;
+    ++l;
+  }
+  return l;
+}
+
+/// Floor of log2(x) for integer x >= 1.
+inline int FloorLog2(uint64_t x) {
+  int l = 0;
+  while (x >>= 1) ++l;
+  return l;
+}
+
+/// Integer ceil division for nonnegative operands; b must be nonzero.
+inline uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// x / y, or `fallback` when y == 0. Used in report generators where a
+/// denominator can legitimately be zero (e.g., zero-communication runs).
+inline double SafeDiv(double x, double y, double fallback = 0.0) {
+  return y == 0.0 ? fallback : x / y;
+}
+
+}  // namespace disttrack
+
+#endif  // DISTTRACK_COMMON_MATH_UTIL_H_

@@ -1,0 +1,102 @@
+#include "disttrack/common/random.h"
+
+#include <cmath>
+
+namespace disttrack {
+
+namespace {
+
+inline uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int s) { return (x << s) | (x >> (64 - s)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& lane : state_) lane = SplitMix64(&sm);
+  // xoshiro's all-zero state is absorbing; SplitMix64 cannot produce four
+  // zero lanes from any seed, but guard anyway for cheap insurance.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformU64(uint64_t bound) {
+  // Lemire-style rejection to avoid modulo bias.
+  uint64_t threshold = (-bound) % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+uint64_t Rng::UniformRange(uint64_t lo, uint64_t hi) {
+  if (lo == 0 && hi == ~0ull) return NextU64();
+  return lo + UniformU64(hi - lo + 1);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p >= 1.0) return true;
+  if (p <= 0.0) return false;
+  return NextDouble() < p;
+}
+
+int Rng::GeometricLevel() {
+  int level = 0;
+  for (;;) {
+    uint64_t bits = NextU64();
+    if (bits != ~0ull) {
+      // Count the run of leading ones in this 64-bit block.
+      while (bits & (1ull << 63)) {
+        ++level;
+        bits <<= 1;
+      }
+      return level;
+    }
+    level += 64;  // astronomically rare; continue the run
+  }
+}
+
+uint64_t Rng::GeometricFailures(double p) {
+  if (p >= 1.0) return 0;
+  // Inversion: failures = floor(log(U) / log(1-p)) for U ~ Uniform(0,1].
+  double u = 1.0 - NextDouble();  // in (0, 1]
+  double draw = std::floor(std::log(u) / std::log1p(-p));
+  if (draw < 0) return 0;
+  return static_cast<uint64_t>(draw);
+}
+
+void Rng::SampleWithoutReplacement(uint64_t universe, uint64_t m,
+                                   std::vector<uint32_t>* out) {
+  out->clear();
+  if (m == 0) return;
+  std::vector<uint32_t> pool(universe);
+  for (uint64_t i = 0; i < universe; ++i) pool[i] = static_cast<uint32_t>(i);
+  for (uint64_t i = 0; i < m; ++i) {
+    uint64_t j = i + UniformU64(universe - i);
+    std::swap(pool[i], pool[j]);
+  }
+  out->assign(pool.begin(), pool.begin() + static_cast<long>(m));
+}
+
+}  // namespace disttrack

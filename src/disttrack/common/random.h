@@ -1,0 +1,67 @@
+// Deterministically seedable pseudo-random generator used by every
+// randomized protocol in the library.
+//
+// We use xoshiro256** seeded through SplitMix64: fast, high quality, and —
+// unlike std::mt19937_64 — identical across standard-library
+// implementations, which keeps experiments reproducible everywhere.
+
+#ifndef DISTTRACK_COMMON_RANDOM_H_
+#define DISTTRACK_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace disttrack {
+
+/// A seedable xoshiro256** PRNG with the sampling primitives the tracking
+/// protocols need (Bernoulli trials, geometric levels, bounded uniforms).
+///
+/// Not thread-safe; each simulated site owns its own generator (or shares
+/// the protocol's), which matches the paper's model of per-site private
+/// random sources.
+class Rng {
+ public:
+  /// Constructs a generator whose full state is derived from `seed` via
+  /// SplitMix64. Equal seeds produce equal streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Returns the next 64 uniformly random bits.
+  uint64_t NextU64();
+
+  /// Returns a uniform draw from [0, bound). `bound` must be nonzero.
+  /// Uses rejection sampling, so the result is exactly uniform.
+  uint64_t UniformU64(uint64_t bound);
+
+  /// Returns a uniform draw from [lo, hi]; requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  /// Returns a uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  /// Returns true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Returns the number of consecutive "heads" of a fair coin before the
+  /// first "tail" — i.e., a Geometric(1/2) level, P(level >= j) = 2^-j.
+  /// Used by the sampling baseline [9] for binary level sampling.
+  int GeometricLevel();
+
+  /// Returns the number of failures before the first success of a
+  /// Bernoulli(p) sequence (a Geometric(p) draw counting failures).
+  /// Requires 0 < p <= 1. Implemented by inversion, so it is O(1).
+  uint64_t GeometricFailures(double p);
+
+  /// Fisher–Yates-style draw of a uniformly random subset of size `m` from
+  /// {0, ..., universe-1}, written into `out` (cleared first).
+  /// Requires m <= universe. Cost O(universe) — intended for test/workload
+  /// generation, not hot paths.
+  void SampleWithoutReplacement(uint64_t universe, uint64_t m,
+                                std::vector<uint32_t>* out);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace disttrack
+
+#endif  // DISTTRACK_COMMON_RANDOM_H_

@@ -1,0 +1,80 @@
+#include "disttrack/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace disttrack {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::Mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+double RunningStats::Min() const { return count_ == 0 ? 0.0 : min_; }
+
+double RunningStats::Max() const { return count_ == 0 ? 0.0 : max_; }
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<long>(mid), v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  double lo = *std::max_element(v.begin(), v.begin() + static_cast<long>(mid));
+  return (lo + hi) / 2.0;
+}
+
+double SampleQuantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  q = std::clamp(q, 0.0, 1.0);
+  size_t idx = static_cast<size_t>(q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[idx];
+}
+
+double CoverageWithin(const std::vector<double>& errors, double bound) {
+  if (errors.empty()) return 1.0;
+  size_t hit = 0;
+  for (double e : errors) {
+    if (std::fabs(e) <= bound) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(errors.size());
+}
+
+double LogLogSlope(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  size_t n = x.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (x[i] <= 0 || y[i] <= 0) return 0.0;
+    double lx = std::log(x[i]);
+    double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  double dn = static_cast<double>(n);
+  double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (dn * sxy - sx * sy) / denom;
+}
+
+}  // namespace disttrack

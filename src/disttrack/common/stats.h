@@ -1,0 +1,64 @@
+// Running statistics and small sample utilities used by the experiment
+// harnesses and the statistical test suite (unbiasedness / variance /
+// coverage checks).
+
+#ifndef DISTTRACK_COMMON_STATS_H_
+#define DISTTRACK_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace disttrack {
+
+/// Welford-style accumulator for mean and variance of a stream of doubles.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations added so far.
+  uint64_t count() const { return count_; }
+
+  /// Sample mean; 0 if empty.
+  double Mean() const;
+
+  /// Unbiased sample variance (n-1 denominator); 0 if fewer than two
+  /// observations.
+  double Variance() const;
+
+  /// Square root of Variance().
+  double StdDev() const;
+
+  /// Smallest / largest observation; 0 if empty.
+  double Min() const;
+  double Max() const;
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the median of `v` (average of middle two for even sizes).
+/// Copies and partially sorts; `v` may be in any order. Empty input -> 0.
+double Median(std::vector<double> v);
+
+/// Returns the q-quantile (0 <= q <= 1) of `v` by nearest-rank on a sorted
+/// copy. Empty input -> 0.
+double SampleQuantile(std::vector<double> v, double q);
+
+/// Fraction of entries of `errors` with absolute value <= bound.
+/// Used for "error <= eps*n with probability 0.9"-style coverage checks.
+double CoverageWithin(const std::vector<double>& errors, double bound);
+
+/// Least-squares slope of log(y) against log(x), for empirically estimating
+/// polynomial growth exponents in the scaling benches. Requires positive
+/// inputs of equal nonzero length; returns 0 on degenerate input.
+double LogLogSlope(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace disttrack
+
+#endif  // DISTTRACK_COMMON_STATS_H_

@@ -1,0 +1,73 @@
+// Lightweight Status type for configuration validation, in the RocksDB idiom.
+// The tracking hot paths never fail, so Status appears only at construction
+// and option-validation boundaries; no exceptions are used.
+
+#ifndef DISTTRACK_COMMON_STATUS_H_
+#define DISTTRACK_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace disttrack {
+
+/// A success-or-error result for configuration and construction paths.
+///
+/// Mirrors the rocksdb::Status idiom: cheap to copy when OK, carries a
+/// message on error, and is explicitly checked by callers.
+class Status {
+ public:
+  /// Error categories. Kept deliberately small; the library only ever fails
+  /// on bad configuration or misuse of an API, never mid-stream.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument = 1,
+    kFailedPrecondition = 2,
+  };
+
+  Status() = default;
+
+  /// Returns the OK status.
+  static Status OK() { return Status(); }
+
+  /// Returns an InvalidArgument status with the given message.
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+
+  /// Returns a FailedPrecondition status with the given message.
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == Code::kOk; }
+
+  /// The error category.
+  Code code() const { return code_; }
+
+  /// Human-readable error message; empty for OK.
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<category>: <message>" for logs and test failures.
+  std::string ToString() const {
+    switch (code_) {
+      case Code::kOk:
+        return "OK";
+      case Code::kInvalidArgument:
+        return "InvalidArgument: " + message_;
+      case Code::kFailedPrecondition:
+        return "FailedPrecondition: " + message_;
+    }
+    return "Unknown";
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+}  // namespace disttrack
+
+#endif  // DISTTRACK_COMMON_STATUS_H_

@@ -1,0 +1,129 @@
+#include "disttrack/core/median_booster.h"
+
+#include "disttrack/common/stats.h"
+
+namespace disttrack {
+namespace core {
+
+namespace {
+
+// Recomputes a combined meter/gauge snapshot from the copies. Boosters are
+// read-mostly, so recomputing on access keeps the copies authoritative.
+template <typename Copies>
+void Recombine(const Copies& copies, sim::CommMeter* meter,
+               sim::SpaceGauge* space) {
+  meter->Reset();
+  space->ClearCurrent();
+  *space = sim::SpaceGauge(space->num_sites());
+  for (const auto& copy : copies) {
+    meter->MergeFrom(copy->meter());
+    space->MergeFrom(copy->space());
+  }
+}
+
+int NumSitesOf(const sim::CommMeter& meter) { return meter.num_sites(); }
+
+}  // namespace
+
+BoostedCountTracker::BoostedCountTracker(
+    std::vector<std::unique_ptr<sim::CountTrackerInterface>> copies)
+    : copies_(std::move(copies)),
+      combined_meter_(copies_.empty() ? 0 : NumSitesOf(copies_[0]->meter())),
+      combined_space_(copies_.empty() ? 0
+                                      : copies_[0]->space().num_sites()) {}
+
+void BoostedCountTracker::Arrive(int site) {
+  for (auto& copy : copies_) copy->Arrive(site);
+}
+
+double BoostedCountTracker::EstimateCount() const {
+  std::vector<double> estimates;
+  estimates.reserve(copies_.size());
+  for (const auto& copy : copies_) estimates.push_back(copy->EstimateCount());
+  return Median(std::move(estimates));
+}
+
+uint64_t BoostedCountTracker::TrueCount() const {
+  return copies_.empty() ? 0 : copies_[0]->TrueCount();
+}
+
+const sim::CommMeter& BoostedCountTracker::meter() const {
+  Recombine(copies_, &combined_meter_, &combined_space_);
+  return combined_meter_;
+}
+
+const sim::SpaceGauge& BoostedCountTracker::space() const {
+  Recombine(copies_, &combined_meter_, &combined_space_);
+  return combined_space_;
+}
+
+BoostedFrequencyTracker::BoostedFrequencyTracker(
+    std::vector<std::unique_ptr<sim::FrequencyTrackerInterface>> copies)
+    : copies_(std::move(copies)),
+      combined_meter_(copies_.empty() ? 0 : NumSitesOf(copies_[0]->meter())),
+      combined_space_(copies_.empty() ? 0
+                                      : copies_[0]->space().num_sites()) {}
+
+void BoostedFrequencyTracker::Arrive(int site, uint64_t item) {
+  for (auto& copy : copies_) copy->Arrive(site, item);
+}
+
+double BoostedFrequencyTracker::EstimateFrequency(uint64_t item) const {
+  std::vector<double> estimates;
+  estimates.reserve(copies_.size());
+  for (const auto& copy : copies_) {
+    estimates.push_back(copy->EstimateFrequency(item));
+  }
+  return Median(std::move(estimates));
+}
+
+uint64_t BoostedFrequencyTracker::TrueCount() const {
+  return copies_.empty() ? 0 : copies_[0]->TrueCount();
+}
+
+const sim::CommMeter& BoostedFrequencyTracker::meter() const {
+  Recombine(copies_, &combined_meter_, &combined_space_);
+  return combined_meter_;
+}
+
+const sim::SpaceGauge& BoostedFrequencyTracker::space() const {
+  Recombine(copies_, &combined_meter_, &combined_space_);
+  return combined_space_;
+}
+
+BoostedRankTracker::BoostedRankTracker(
+    std::vector<std::unique_ptr<sim::RankTrackerInterface>> copies)
+    : copies_(std::move(copies)),
+      combined_meter_(copies_.empty() ? 0 : NumSitesOf(copies_[0]->meter())),
+      combined_space_(copies_.empty() ? 0
+                                      : copies_[0]->space().num_sites()) {}
+
+void BoostedRankTracker::Arrive(int site, uint64_t value) {
+  for (auto& copy : copies_) copy->Arrive(site, value);
+}
+
+double BoostedRankTracker::EstimateRank(uint64_t value) const {
+  std::vector<double> estimates;
+  estimates.reserve(copies_.size());
+  for (const auto& copy : copies_) {
+    estimates.push_back(copy->EstimateRank(value));
+  }
+  return Median(std::move(estimates));
+}
+
+uint64_t BoostedRankTracker::TrueCount() const {
+  return copies_.empty() ? 0 : copies_[0]->TrueCount();
+}
+
+const sim::CommMeter& BoostedRankTracker::meter() const {
+  Recombine(copies_, &combined_meter_, &combined_space_);
+  return combined_meter_;
+}
+
+const sim::SpaceGauge& BoostedRankTracker::space() const {
+  Recombine(copies_, &combined_meter_, &combined_space_);
+  return combined_space_;
+}
+
+}  // namespace core
+}  // namespace disttrack

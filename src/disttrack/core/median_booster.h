@@ -1,0 +1,83 @@
+// Median boosting (§1.2): a single protocol copy answers any one query
+// within ±εn with constant probability; running m independent copies and
+// answering the median is correct at all O(1/ε · logN) distinguishable
+// time instances simultaneously with probability 1 - δ for
+// m = O(log(logN / (δε))). These wrappers implement that construction for
+// each of the three problems.
+
+#ifndef DISTTRACK_CORE_MEDIAN_BOOSTER_H_
+#define DISTTRACK_CORE_MEDIAN_BOOSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "disttrack/sim/protocol.h"
+
+namespace disttrack {
+namespace core {
+
+/// Runs m independent count trackers; answers the median estimate.
+/// meter()/space() report the combined cost of all copies.
+class BoostedCountTracker : public sim::CountTrackerInterface {
+ public:
+  explicit BoostedCountTracker(
+      std::vector<std::unique_ptr<sim::CountTrackerInterface>> copies);
+
+  void Arrive(int site) override;
+  double EstimateCount() const override;
+  uint64_t TrueCount() const override;
+  const sim::CommMeter& meter() const override;
+  const sim::SpaceGauge& space() const override;
+
+  size_t num_copies() const { return copies_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<sim::CountTrackerInterface>> copies_;
+  mutable sim::CommMeter combined_meter_;
+  mutable sim::SpaceGauge combined_space_;
+};
+
+/// Runs m independent frequency trackers; answers the median estimate.
+class BoostedFrequencyTracker : public sim::FrequencyTrackerInterface {
+ public:
+  explicit BoostedFrequencyTracker(
+      std::vector<std::unique_ptr<sim::FrequencyTrackerInterface>> copies);
+
+  void Arrive(int site, uint64_t item) override;
+  double EstimateFrequency(uint64_t item) const override;
+  uint64_t TrueCount() const override;
+  const sim::CommMeter& meter() const override;
+  const sim::SpaceGauge& space() const override;
+
+  size_t num_copies() const { return copies_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<sim::FrequencyTrackerInterface>> copies_;
+  mutable sim::CommMeter combined_meter_;
+  mutable sim::SpaceGauge combined_space_;
+};
+
+/// Runs m independent rank trackers; answers the median estimate.
+class BoostedRankTracker : public sim::RankTrackerInterface {
+ public:
+  explicit BoostedRankTracker(
+      std::vector<std::unique_ptr<sim::RankTrackerInterface>> copies);
+
+  void Arrive(int site, uint64_t value) override;
+  double EstimateRank(uint64_t value) const override;
+  uint64_t TrueCount() const override;
+  const sim::CommMeter& meter() const override;
+  const sim::SpaceGauge& space() const override;
+
+  size_t num_copies() const { return copies_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<sim::RankTrackerInterface>> copies_;
+  mutable sim::CommMeter combined_meter_;
+  mutable sim::SpaceGauge combined_space_;
+};
+
+}  // namespace core
+}  // namespace disttrack
+
+#endif  // DISTTRACK_CORE_MEDIAN_BOOSTER_H_

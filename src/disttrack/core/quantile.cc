@@ -1,0 +1,46 @@
+#include "disttrack/core/quantile.h"
+
+#include <algorithm>
+
+namespace disttrack {
+namespace core {
+
+uint64_t QuantileFromRank(const sim::RankTrackerInterface& tracker,
+                          double phi, uint64_t universe) {
+  if (universe == 0) return 0;
+  phi = std::clamp(phi, 0.0, 1.0);
+  double target = phi * static_cast<double>(tracker.TrueCount());
+  // Binary search for the smallest x whose inclusive rank reaches target;
+  // monotonicity of EstimateRank makes this well defined.
+  uint64_t lo = 0, hi = universe - 1;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (tracker.EstimateRank(mid + 1) < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<uint64_t> QuantilesFromRank(
+    const sim::RankTrackerInterface& tracker, const std::vector<double>& phis,
+    uint64_t universe) {
+  std::vector<uint64_t> out;
+  out.reserve(phis.size());
+  for (double phi : phis) {
+    out.push_back(QuantileFromRank(tracker, phi, universe));
+  }
+  return out;
+}
+
+double FrequencyFromRank(const sim::RankTrackerInterface& tracker,
+                         uint64_t value) {
+  double above = tracker.EstimateRank(value + 1);
+  double below = tracker.EstimateRank(value);
+  return above - below;
+}
+
+}  // namespace core
+}  // namespace disttrack

@@ -1,0 +1,42 @@
+#include "disttrack/count/coarse_tracker.h"
+
+#include <algorithm>
+
+namespace disttrack {
+namespace count {
+
+CoarseTracker::CoarseTracker(int num_sites, sim::CommMeter* meter)
+    : meter_(meter), local_(static_cast<size_t>(num_sites)) {}
+
+void CoarseTracker::AddObserver(BroadcastObserver observer) {
+  observers_.push_back(std::move(observer));
+}
+
+uint64_t CoarseTracker::local_count(int site) const {
+  if (site < 0 || site >= num_sites()) return 0;
+  return local_[static_cast<size_t>(site)].count;
+}
+
+void CoarseTracker::Arrive(int site) {
+  SiteState& s = local_[static_cast<size_t>(site)];
+  ++s.count;
+  if (s.count < s.next_report) return;
+
+  // Site -> coordinator: the local count has doubled.
+  meter_->RecordUpload(site, 1);
+  n_prime_ += s.count - s.last_reported;
+  s.last_reported = s.count;
+  s.next_report = s.count * 2;
+
+  // Coordinator: broadcast when n' has at least doubled since the last
+  // broadcast (first broadcast at the very first report).
+  if (n_prime_ >= std::max<uint64_t>(1, 2 * n_bar_)) {
+    n_bar_ = n_prime_;
+    ++round_;
+    meter_->RecordBroadcast(1);
+    for (auto& obs : observers_) obs(round_, n_bar_);
+  }
+}
+
+}  // namespace count
+}  // namespace disttrack

@@ -1,0 +1,74 @@
+// The constant-factor count tracker of §2.1 ("Dealing with a decreasing p"):
+// every site reports its local count when it doubles; the coordinator
+// re-broadcasts the global sum n' whenever it has at least doubled since the
+// last broadcast. The broadcast value n̄ satisfies n̄ <= n < 4n̄ at all
+// times, divides the execution into O(logN) rounds, and costs O(k logN)
+// communication in total.
+//
+// All three randomized trackers (count, frequency, rank) are built on this
+// component: the broadcast both refreshes their sampling probability p and
+// delimits their rounds.
+
+#ifndef DISTTRACK_COUNT_COARSE_TRACKER_H_
+#define DISTTRACK_COUNT_COARSE_TRACKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "disttrack/sim/comm_meter.h"
+
+namespace disttrack {
+namespace count {
+
+/// Maintains n̄, a factor-4 approximation of n, with O(k logN) traffic.
+class CoarseTracker {
+ public:
+  /// Invoked immediately after each broadcast, with the new round index
+  /// (1-based) and the new n̄. Observers typically recompute p and perform
+  /// the round-transition ritual of their protocol.
+  using BroadcastObserver = std::function<void(uint64_t round, uint64_t n_bar)>;
+
+  /// Traffic is charged to `meter` (not owned; must outlive the tracker).
+  CoarseTracker(int num_sites, sim::CommMeter* meter);
+
+  /// Registers an observer; observers fire in registration order.
+  void AddObserver(BroadcastObserver observer);
+
+  /// One element arrives at `site`; may trigger an upload and a broadcast.
+  void Arrive(int site);
+
+  /// Last broadcast value (0 before the first element arrives).
+  uint64_t n_bar() const { return n_bar_; }
+
+  /// Number of broadcasts so far == current round index.
+  uint64_t round() const { return round_; }
+
+  /// The coordinator's running sum of last-reported site counts; satisfies
+  /// n' <= n < 2n'.
+  uint64_t n_prime() const { return n_prime_; }
+
+  /// Exact local count of one site (site-side state).
+  uint64_t local_count(int site) const;
+
+  int num_sites() const { return static_cast<int>(local_.size()); }
+
+ private:
+  struct SiteState {
+    uint64_t count = 0;          // exact local count n_i
+    uint64_t next_report = 1;    // report when count reaches this (doubles)
+    uint64_t last_reported = 0;  // n'_i at the coordinator
+  };
+
+  sim::CommMeter* meter_;
+  std::vector<SiteState> local_;
+  std::vector<BroadcastObserver> observers_;
+  uint64_t n_prime_ = 0;
+  uint64_t n_bar_ = 0;
+  uint64_t round_ = 0;
+};
+
+}  // namespace count
+}  // namespace disttrack
+
+#endif  // DISTTRACK_COUNT_COARSE_TRACKER_H_

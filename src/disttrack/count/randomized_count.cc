@@ -1,0 +1,116 @@
+#include "disttrack/count/randomized_count.h"
+
+#include <cmath>
+
+#include "disttrack/common/math_util.h"
+
+namespace disttrack {
+namespace count {
+
+Status RandomizedCountOptions::Validate() const {
+  if (num_sites < 1) {
+    return Status::InvalidArgument("num_sites must be >= 1");
+  }
+  if (!(epsilon > 0.0) || epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1)");
+  }
+  if (!(confidence_factor >= 1.0)) {
+    return Status::InvalidArgument("confidence_factor must be >= 1");
+  }
+  return Status::OK();
+}
+
+RandomizedCountTracker::RandomizedCountTracker(
+    const RandomizedCountOptions& options)
+    : options_(options),
+      meter_(options.num_sites),
+      space_(options.num_sites),
+      sites_(static_cast<size_t>(options.num_sites)) {
+  for (int i = 0; i < options_.num_sites; ++i) {
+    sites_[static_cast<size_t>(i)].rng =
+        Rng(options_.seed * 0x9E3779B97F4A7C15ull + static_cast<uint64_t>(i));
+    // O(1) site state: counter, last report, doubling threshold, 1/p copy.
+    space_.Set(i, 4);
+  }
+  coarse_ = std::make_unique<CoarseTracker>(options_.num_sites, &meter_);
+  coarse_->AddObserver([this](uint64_t round, uint64_t n_bar) {
+    OnBroadcast(round, n_bar);
+  });
+}
+
+uint64_t RandomizedCountTracker::InvPFor(uint64_t n_bar) const {
+  // p = 1 while εn̄ <= c√k; afterwards 1/p = ⌊εn̄/(c√k)⌋₂ (§2.1).
+  double scaled = options_.epsilon * static_cast<double>(n_bar) /
+                  (options_.confidence_factor *
+                   std::sqrt(static_cast<double>(options_.num_sites)));
+  if (scaled <= 1.0) return 1;
+  return FloorPow2(scaled);
+}
+
+double RandomizedCountTracker::p() const {
+  return 1.0 / static_cast<double>(inv_p_);
+}
+
+void RandomizedCountTracker::OnBroadcast(uint64_t /*round*/, uint64_t n_bar) {
+  uint64_t new_inv_p = InvPFor(n_bar);
+  while (inv_p_ < new_inv_p) {
+    inv_p_ *= 2;
+    double p_new = 1.0 / static_cast<double>(inv_p_);
+    // Re-randomization ritual, once per halving, at every site that holds a
+    // report (§2.1). The broadcast that told sites the new n̄ was already
+    // charged by CoarseTracker; the correction uploads are charged here.
+    for (int i = 0; i < options_.num_sites; ++i) {
+      SiteState& s = sites_[static_cast<size_t>(i)];
+      if (s.reported == 0) continue;
+      if (s.rng.Bernoulli(0.5)) continue;  // report survives the thinning
+      uint64_t old_report = s.reported;
+      uint64_t failures = s.rng.GeometricFailures(p_new);
+      uint64_t positions_below = old_report - 1;
+      uint64_t new_report =
+          failures >= positions_below ? 0 : old_report - 1 - failures;
+      // Coordinator-side update (the site informs the coordinator).
+      meter_.RecordUpload(i, 1);
+      reported_sum_ -= old_report;
+      --reported_count_;
+      s.reported = new_report;
+      if (new_report > 0) {
+        reported_sum_ += new_report;
+        ++reported_count_;
+      }
+    }
+  }
+}
+
+void RandomizedCountTracker::Arrive(int site) {
+  ++n_;
+  SiteState& s = sites_[static_cast<size_t>(site)];
+  ++s.count;
+  // The coarse tracker may broadcast here, halving p before this arrival's
+  // coin is flipped — the flip below then uses the up-to-date p.
+  coarse_->Arrive(site);
+  double cur_p = 1.0 / static_cast<double>(inv_p_);
+  if (s.rng.Bernoulli(cur_p)) {
+    meter_.RecordUpload(site, 1);
+    if (s.reported > 0) reported_sum_ -= s.reported;
+    else ++reported_count_;
+    s.reported = s.count;
+    reported_sum_ += s.reported;
+  }
+}
+
+double RandomizedCountTracker::EstimateCount() const {
+  double inv_p = static_cast<double>(inv_p_);
+  if (options_.naive_boundary_estimator) {
+    // Ablation: apply n̂_i = n̄_i - 1 + 1/p to *every* site, treating a
+    // missing report as n̄_i = 0. Each report-less site contributes the
+    // bias (1/p - 1) the paper's two-case estimator avoids.
+    double all = static_cast<double>(reported_sum_) +
+                 static_cast<double>(options_.num_sites) * (inv_p - 1.0);
+    return all;
+  }
+  return static_cast<double>(reported_sum_) +
+         static_cast<double>(reported_count_) * (inv_p - 1.0);
+}
+
+}  // namespace count
+}  // namespace disttrack

@@ -1,0 +1,152 @@
+#include "disttrack/frequency/randomized_frequency.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "disttrack/common/math_util.h"
+
+namespace disttrack {
+namespace frequency {
+
+Status RandomizedFrequencyOptions::Validate() const {
+  if (num_sites < 1) {
+    return Status::InvalidArgument("num_sites must be >= 1");
+  }
+  if (!(epsilon > 0.0) || epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1)");
+  }
+  if (!(confidence_factor >= 1.0)) {
+    return Status::InvalidArgument("confidence_factor must be >= 1");
+  }
+  return Status::OK();
+}
+
+RandomizedFrequencyTracker::RandomizedFrequencyTracker(
+    const RandomizedFrequencyOptions& options)
+    : options_(options),
+      meter_(options.num_sites),
+      space_(options.num_sites),
+      sites_(static_cast<size_t>(options.num_sites)) {
+  for (int i = 0; i < options_.num_sites; ++i) {
+    SiteState& s = sites_[static_cast<size_t>(i)];
+    s.instance = next_instance_++;
+    s.rng = Rng(options_.seed * 0xA24BAED4963EE407ull +
+                static_cast<uint64_t>(i));
+  }
+  coarse_ = std::make_unique<count::CoarseTracker>(options_.num_sites,
+                                                   &meter_);
+  coarse_->AddObserver([this](uint64_t round, uint64_t n_bar) {
+    OnBroadcast(round, n_bar);
+  });
+}
+
+uint64_t RandomizedFrequencyTracker::InvPFor(uint64_t n_bar) const {
+  double scaled = options_.epsilon * static_cast<double>(n_bar) /
+                  (options_.confidence_factor *
+                   std::sqrt(static_cast<double>(options_.num_sites)));
+  if (scaled <= 1.0) return 1;
+  return FloorPow2(scaled);
+}
+
+double RandomizedFrequencyTracker::LiveEstimate(const ItemAgg& agg) const {
+  double inv_p = static_cast<double>(inv_p_);
+  double est = 0;
+  for (const auto& [instance, cbar] : agg.cbar) {
+    est += static_cast<double>(cbar) - 2.0 + 2.0 * inv_p;
+  }
+  if (!options_.naive_boundary_estimator) {
+    for (const auto& [instance, d] : agg.d_no_counter) {
+      est -= static_cast<double>(d) * inv_p;
+    }
+  }
+  return est;
+}
+
+void RandomizedFrequencyTracker::FoldRound() {
+  for (const auto& [item, agg] : live_) {
+    double est = LiveEstimate(agg);
+    if (est != 0.0) frozen_[item] += est;
+  }
+  live_.clear();
+}
+
+void RandomizedFrequencyTracker::OnBroadcast(uint64_t /*round*/,
+                                             uint64_t n_bar) {
+  // Freeze the completed round with its own p, then restart from scratch
+  // with the new parameters (§3.1 "Dealing with a decreasing p").
+  FoldRound();
+  inv_p_ = InvPFor(n_bar);
+  split_threshold_ = std::max<uint64_t>(
+      1, n_bar / static_cast<uint64_t>(options_.num_sites));
+  for (int i = 0; i < options_.num_sites; ++i) {
+    SiteState& s = sites_[static_cast<size_t>(i)];
+    s.counters.clear();
+    s.round_arrivals = 0;
+    s.instance = next_instance_++;
+    UpdateSpace(i);
+  }
+}
+
+void RandomizedFrequencyTracker::UpdateSpace(int site) {
+  const SiteState& s = sites_[static_cast<size_t>(site)];
+  space_.Set(site, 2 * s.counters.size() + 4);
+}
+
+void RandomizedFrequencyTracker::Arrive(int site, uint64_t item) {
+  ++n_;
+  coarse_->Arrive(site);
+  SiteState& s = sites_[static_cast<size_t>(site)];
+
+  // Virtual-site split: the (n̄/k + 1)-th element of a round starts a fresh
+  // copy of the algorithm at this site (§3.1).
+  if (options_.virtual_site_split &&
+      s.round_arrivals >= split_threshold_) {
+    meter_.RecordUpload(site, 1);  // split notification
+    s.counters.clear();
+    s.instance = next_instance_++;
+    s.round_arrivals = 0;
+    ++splits_;
+  }
+  ++s.round_arrivals;
+
+  double cur_p = 1.0 / static_cast<double>(inv_p_);
+
+  // Counter-list channel.
+  auto it = s.counters.find(item);
+  if (it != s.counters.end()) {
+    ++it->second;
+    if (s.rng.Bernoulli(cur_p)) {
+      meter_.RecordUpload(site, 2);
+      live_[item].cbar[s.instance] = it->second;
+    }
+  } else if (s.rng.Bernoulli(cur_p)) {
+    s.counters.emplace(item, 1);
+    meter_.RecordUpload(site, 2);
+    ItemAgg& agg = live_[item];
+    agg.cbar[s.instance] = 1;
+    agg.d_no_counter.erase(s.instance);  // d is superseded by the counter
+  }
+
+  // Independent simple-random-sampling channel (d_ij).
+  if (s.rng.Bernoulli(cur_p)) {
+    meter_.RecordUpload(site, 1);
+    ItemAgg& agg = live_[item];
+    if (agg.cbar.find(s.instance) == agg.cbar.end()) {
+      agg.d_no_counter[s.instance] += 1;
+    }
+  }
+
+  UpdateSpace(site);
+}
+
+double RandomizedFrequencyTracker::EstimateFrequency(uint64_t item) const {
+  double est = 0;
+  auto fit = frozen_.find(item);
+  if (fit != frozen_.end()) est += fit->second;
+  auto lit = live_.find(item);
+  if (lit != live_.end()) est += LiveEstimate(lit->second);
+  return est;
+}
+
+}  // namespace frequency
+}  // namespace disttrack

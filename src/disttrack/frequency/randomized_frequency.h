@@ -1,0 +1,121 @@
+// The randomized frequency tracker of §3.1 (Theorem 3.1).
+//
+// Per round (n̄ fixed by CoarseTracker), with p = 1/⌊εn̄/(c√k)⌋₂:
+//  * each site keeps a sticky counter list L_i: an arriving item j without
+//    a counter starts one with probability p (the creation is reported to
+//    the coordinator, value 1); a tracked item increments its counter and
+//    re-reports the fresh value with probability p;
+//  * independently, every arrival is forwarded with probability p (the
+//    simple-random-sampling channel d_ij);
+//  * a site that has received more than n̄/k elements in the round notifies
+//    the coordinator, clears its memory, and continues as a fresh "virtual
+//    site", capping its space at O(p·n̄/k) = O(1/(ε√k)) words;
+//  * at a round boundary all sites clear and the round's estimates freeze.
+//
+// The coordinator estimates the round's contribution of (instance i, item
+// j) by the unbiased estimator (4):
+//      f̂'_ij = c̄_ij - 2 + 2/p    if a counter report c̄_ij exists,
+//              -d_ij / p          otherwise,
+// whose variance is O(1/p²) (Lemma 3.1), and sums over instances & rounds.
+// Note the second branch: when no counter exists the *negative* sampled
+// count corrects the boundary bias of the naive estimator (2), which the
+// `naive_boundary_estimator` ablation reinstates.
+
+#ifndef DISTTRACK_FREQUENCY_RANDOMIZED_FREQUENCY_H_
+#define DISTTRACK_FREQUENCY_RANDOMIZED_FREQUENCY_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "disttrack/common/random.h"
+#include "disttrack/common/status.h"
+#include "disttrack/count/coarse_tracker.h"
+#include "disttrack/sim/protocol.h"
+
+namespace disttrack {
+namespace frequency {
+
+/// Options for RandomizedFrequencyTracker.
+struct RandomizedFrequencyOptions {
+  int num_sites = 8;
+  double epsilon = 0.01;
+  uint64_t seed = 1;
+
+  /// Constant-factor boost applied to p (variance /c², communication ~×c).
+  double confidence_factor = 4.0;
+
+  /// Ablation (DESIGN.md §5): use the biased estimator (2) — contribute 0
+  /// instead of -d_ij/p when no counter exists.
+  bool naive_boundary_estimator = false;
+
+  /// Ablation: disable the n̄/k virtual-site split (space may then grow to
+  /// O(p·n̄) = O(√k/ε) at a site receiving the whole stream).
+  bool virtual_site_split = true;
+
+  Status Validate() const;
+};
+
+/// Randomized ε-approximate frequency tracking (Theorem 3.1).
+class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface {
+ public:
+  explicit RandomizedFrequencyTracker(
+      const RandomizedFrequencyOptions& options);
+
+  void Arrive(int site, uint64_t item) override;
+  double EstimateFrequency(uint64_t item) const override;
+  uint64_t TrueCount() const override { return n_; }
+  const sim::CommMeter& meter() const override { return meter_; }
+  const sim::SpaceGauge& space() const override { return space_; }
+
+  /// Current sampling probability p.
+  double p() const { return 1.0 / static_cast<double>(inv_p_); }
+
+  uint64_t rounds() const { return coarse_->round(); }
+
+  /// Number of virtual-site splits performed so far (diagnostics).
+  uint64_t splits() const { return splits_; }
+
+ private:
+  struct SiteState {
+    uint64_t instance = 0;  // current virtual-site id (globally unique)
+    uint64_t round_arrivals = 0;
+    std::unordered_map<uint64_t, uint64_t> counters;  // L_i
+    Rng rng{0};
+  };
+
+  // Coordinator-side per-(round,item) aggregation.
+  struct ItemAgg {
+    // instance -> last reported counter value c̄.
+    std::unordered_map<uint64_t, uint64_t> cbar;
+    // instance -> sampled copies d (kept only while no counter exists).
+    std::unordered_map<uint64_t, uint64_t> d_no_counter;
+  };
+
+  void OnBroadcast(uint64_t round, uint64_t n_bar);
+  void FoldRound();
+  double LiveEstimate(const ItemAgg& agg) const;
+  uint64_t InvPFor(uint64_t n_bar) const;
+  void UpdateSpace(int site);
+
+  RandomizedFrequencyOptions options_;
+  sim::CommMeter meter_;
+  sim::SpaceGauge space_;
+  std::unique_ptr<count::CoarseTracker> coarse_;
+  std::vector<SiteState> sites_;
+
+  std::unordered_map<uint64_t, ItemAgg> live_;   // current round
+  std::unordered_map<uint64_t, double> frozen_;  // completed rounds
+
+  uint64_t inv_p_ = 1;
+  uint64_t split_threshold_ = 1;  // n̄/k
+  uint64_t next_instance_ = 0;
+  uint64_t splits_ = 0;
+  uint64_t n_ = 0;
+};
+
+}  // namespace frequency
+}  // namespace disttrack
+
+#endif  // DISTTRACK_FREQUENCY_RANDOMIZED_FREQUENCY_H_

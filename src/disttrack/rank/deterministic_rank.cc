@@ -1,0 +1,62 @@
+#include "disttrack/rank/deterministic_rank.h"
+
+namespace disttrack {
+namespace rank {
+
+Status DeterministicRankOptions::Validate() const {
+  if (num_sites < 1) {
+    return Status::InvalidArgument("num_sites must be >= 1");
+  }
+  if (!(epsilon > 0.0) || epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1)");
+  }
+  if (universe_bits < 1 || universe_bits > 48) {
+    return Status::InvalidArgument("universe_bits must be in [1, 48]");
+  }
+  return Status::OK();
+}
+
+DeterministicRankTracker::DeterministicRankTracker(
+    const DeterministicRankOptions& options)
+    : options_(options),
+      mask_(options.universe_bits >= 64
+                ? ~0ull
+                : (1ull << options.universe_bits) - 1) {
+  frequency::DeterministicFrequencyOptions freq_options;
+  freq_options.num_sites = options_.num_sites;
+  double levels = static_cast<double>(options_.universe_bits);
+  freq_options.epsilon = options_.epsilon / (levels * levels);
+  core_ = std::make_unique<frequency::DeterministicFrequencyTracker>(
+      freq_options);
+}
+
+void DeterministicRankTracker::Arrive(int site, uint64_t value) {
+  ++n_;
+  value &= mask_;
+  for (int g = 0; g < options_.universe_bits; ++g) {
+    core_->Arrive(site, Encode(g, value >> g));
+  }
+}
+
+double DeterministicRankTracker::EstimateRank(uint64_t value) const {
+  // Queries at or beyond the top of the universe ask for the rank of
+  // everything: answer with the two level-(U-1) halves of the domain.
+  if ((value >> options_.universe_bits) != 0) {
+    int top = options_.universe_bits - 1;
+    return core_->EstimateFrequency(Encode(top, 0)) +
+           core_->EstimateFrequency(Encode(top, 1));
+  }
+  // Dyadic decomposition of [0, value): one interval per set bit.
+  double est = 0;
+  uint64_t prefix = 0;
+  for (int g = options_.universe_bits - 1; g >= 0; --g) {
+    if ((value >> g) & 1) {
+      est += core_->EstimateFrequency(Encode(g, prefix >> g));
+      prefix += (1ull << g);
+    }
+  }
+  return est;
+}
+
+}  // namespace rank
+}  // namespace disttrack

@@ -1,0 +1,225 @@
+#include "disttrack/rank/randomized_rank.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "disttrack/common/math_util.h"
+
+namespace disttrack {
+namespace rank {
+
+Status RandomizedRankOptions::Validate() const {
+  if (num_sites < 1) {
+    return Status::InvalidArgument("num_sites must be >= 1");
+  }
+  if (!(epsilon > 0.0) || epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1)");
+  }
+  if (!(confidence_factor >= 1.0)) {
+    return Status::InvalidArgument("confidence_factor must be >= 1");
+  }
+  return Status::OK();
+}
+
+RandomizedRankTracker::RandomizedRankTracker(
+    const RandomizedRankOptions& options)
+    : options_(options),
+      meter_(options.num_sites),
+      space_(options.num_sites),
+      sites_(static_cast<size_t>(options.num_sites)) {
+  for (int i = 0; i < options_.num_sites; ++i) {
+    SiteState& s = sites_[static_cast<size_t>(i)];
+    s.rng = Rng(options_.seed * 0x8CB92BA72F3D8DD7ull +
+                static_cast<uint64_t>(i));
+    StartFreshInstance(&s);
+  }
+  coarse_ = std::make_unique<count::CoarseTracker>(options_.num_sites,
+                                                   &meter_);
+  coarse_->AddObserver([this](uint64_t round, uint64_t n_bar) {
+    OnBroadcast(round, n_bar);
+  });
+}
+
+double RandomizedRankTracker::LevelEps(int level) const {
+  double hh = std::max(1, height_);
+  return std::pow(2.0, -level) / std::sqrt(hh);
+}
+
+void RandomizedRankTracker::RecomputeRoundParams(uint64_t n_bar) {
+  double root_k = std::sqrt(static_cast<double>(options_.num_sites));
+  inv_p_ = std::max(1.0, options_.epsilon * static_cast<double>(n_bar) /
+                             (options_.confidence_factor * root_k));
+  chunk_size_ = std::max<uint64_t>(
+      1, n_bar / static_cast<uint64_t>(options_.num_sites));
+  block_size_ = std::max<uint64_t>(1, static_cast<uint64_t>(inv_p_));
+  block_size_ = std::min(block_size_, chunk_size_);
+  num_leaves_ = static_cast<uint32_t>(CeilDiv(chunk_size_, block_size_));
+  height_ = CeilLog2(num_leaves_);
+}
+
+void RandomizedRankTracker::StartFreshInstance(SiteState* s) {
+  s->instance = next_instance_++;
+  s->arrivals_in_chunk = 0;
+  s->arrivals_in_leaf = 0;
+  s->current_leaf = 0;
+  s->nodes.clear();
+  s->nodes.resize(static_cast<size_t>(height_) + 1);
+  instances_[s->instance].inv_p = inv_p_;
+}
+
+void RandomizedRankTracker::OnBroadcast(uint64_t /*round*/, uint64_t n_bar) {
+  // Completed leaves of the closing round are already covered by shipped
+  // summaries, and the in-progress tails stay covered by their frozen
+  // residual samples; sites just restart with fresh parameters.
+  RecomputeRoundParams(n_bar);
+  for (int i = 0; i < options_.num_sites; ++i) {
+    StartFreshInstance(&sites_[static_cast<size_t>(i)]);
+    UpdateSpace(i);
+  }
+}
+
+void RandomizedRankTracker::FlushNode(int site, SiteState* s, int level,
+                                      uint32_t node_start,
+                                      uint32_t end_leaf) {
+  auto& node = s->nodes[static_cast<size_t>(level)];
+  if (node == nullptr || node->m() == 0) {
+    node.reset();
+    return;
+  }
+  // Site -> coordinator: the serialized summary.
+  meter_.RecordUpload(site, node->SerializedWords());
+
+  StoredSummary stored;
+  stored.first_leaf = node_start;
+  stored.end_leaf = end_leaf;
+  auto items = node->Items();
+  std::sort(items.begin(), items.end());
+  stored.values.reserve(items.size());
+  stored.weight_prefix.reserve(items.size());
+  uint64_t acc = 0;
+  for (const auto& [value, weight] : items) {
+    stored.values.push_back(value);
+    acc += weight;
+    stored.weight_prefix.push_back(acc);
+  }
+  instances_[s->instance].summaries.push_back(std::move(stored));
+  node.reset();
+}
+
+void RandomizedRankTracker::UpdateSpace(int site) {
+  const SiteState& s = sites_[static_cast<size_t>(site)];
+  uint64_t words = 8;  // counters, ids, round parameters
+  for (const auto& node : s.nodes) {
+    if (node != nullptr) words += node->SpaceWords();
+  }
+  space_.Set(site, words);
+}
+
+void RandomizedRankTracker::Arrive(int site, uint64_t value) {
+  ++n_;
+  coarse_->Arrive(site);
+  SiteState& s = sites_[static_cast<size_t>(site)];
+
+  // Feed the active node at every level of algorithm C's tree.
+  for (int level = 0; level <= height_; ++level) {
+    auto& node = s.nodes[static_cast<size_t>(level)];
+    if (node == nullptr) {
+      node = std::make_unique<summaries::CompactorSummary>(LevelEps(level),
+                                                           s.rng.NextU64());
+    }
+    node->Insert(value);
+  }
+
+  // In-progress tail channel: forward with probability p, tagged with the
+  // leaf index.
+  if (s.rng.Bernoulli(1.0 / inv_p_)) {
+    meter_.RecordUpload(site, 2);
+    instances_[s.instance].residuals.push_back(
+        ResidualSample{s.current_leaf, value});
+  }
+
+  ++s.arrivals_in_leaf;
+  ++s.arrivals_in_chunk;
+  bool chunk_done = s.arrivals_in_chunk >= chunk_size_;
+  bool leaf_done = s.arrivals_in_leaf >= block_size_ || chunk_done;
+
+  if (leaf_done) {
+    uint32_t completed_end = s.current_leaf + 1;
+    for (int level = 0; level <= height_; ++level) {
+      uint32_t node_start = (s.current_leaf >> level) << level;
+      uint32_t node_end = std::min<uint32_t>(
+          node_start + (1u << level), num_leaves_);
+      if (completed_end == node_end || chunk_done) {
+        FlushNode(site, &s, level, node_start, completed_end);
+      }
+    }
+    // Completed leaves are now covered by summaries: their tail samples
+    // are redundant and dropped (the paper's estimator only uses samples
+    // from the in-progress block).
+    auto& residuals = instances_[s.instance].residuals;
+    residuals.erase(
+        std::remove_if(residuals.begin(), residuals.end(),
+                       [completed_end](const ResidualSample& r) {
+                         return r.leaf < completed_end;
+                       }),
+        residuals.end());
+    if (chunk_done) {
+      // The top-level summary now covers the whole chunk; lower summaries
+      // are redundant for the dyadic cover and are dropped.
+      auto& data = instances_[s.instance];
+      auto top = std::find_if(data.summaries.begin(), data.summaries.end(),
+                              [completed_end](const StoredSummary& stored) {
+                                return stored.first_leaf == 0 &&
+                                       stored.end_leaf == completed_end;
+                              });
+      if (top != data.summaries.end()) {
+        StoredSummary keep = std::move(*top);
+        data.summaries.clear();
+        data.summaries.push_back(std::move(keep));
+      }
+      StartFreshInstance(&s);
+    } else {
+      ++s.current_leaf;
+      s.arrivals_in_leaf = 0;
+    }
+  }
+  UpdateSpace(site);
+}
+
+double RandomizedRankTracker::SummaryRankBelow(const StoredSummary& summary,
+                                               uint64_t x) {
+  auto it = std::lower_bound(summary.values.begin(), summary.values.end(), x);
+  if (it == summary.values.begin()) return 0.0;
+  size_t idx = static_cast<size_t>(it - summary.values.begin());
+  return static_cast<double>(summary.weight_prefix[idx - 1]);
+}
+
+double RandomizedRankTracker::EstimateRank(uint64_t value) const {
+  double est = 0;
+  for (const auto& [id, data] : instances_) {
+    // Greedy maximal dyadic cover of the completed-leaf prefix.
+    uint32_t cursor = 0;
+    for (;;) {
+      const StoredSummary* best = nullptr;
+      for (const StoredSummary& stored : data.summaries) {
+        if (stored.first_leaf == cursor &&
+            (best == nullptr || stored.end_leaf > best->end_leaf)) {
+          best = &stored;
+        }
+      }
+      if (best == nullptr) break;
+      est += SummaryRankBelow(*best, value);
+      cursor = best->end_leaf;
+    }
+    // In-progress tail: unbiased sample estimate at this round's p.
+    uint64_t below = 0;
+    for (const ResidualSample& r : data.residuals) {
+      if (r.value < value) ++below;
+    }
+    est += static_cast<double>(below) * data.inv_p;
+  }
+  return est;
+}
+
+}  // namespace rank
+}  // namespace disttrack

@@ -1,0 +1,141 @@
+// The randomized rank tracker of §4 (Theorem 4.1).
+//
+// Per round (n̄ fixed by CoarseTracker):
+//  * every site slices its round-local stream into chunks of n̄/k elements,
+//    each processed by one instance of algorithm C;
+//  * algorithm C splits its chunk into blocks (leaves) of b = εn̄/(c√k)
+//    elements and builds a balanced binary tree of height h over them in
+//    arrival order; each node v at level ℓ runs one instance of algorithm A
+//    (CompactorSummary) at error parameter 2^-ℓ/√h over D(v), shipped to
+//    the coordinator the moment v's leaf range completes;
+//  * independently every arrival is forwarded with probability
+//    p = c√k/(εn̄), tagged with its leaf index (the in-progress tail
+//    channel).
+//
+// The coordinator answers rank(x) per instance by the maximal dyadic cover
+// of the completed-leaf prefix (≤ h shipped node summaries, unbiased with
+// variance b²/h each) plus (sampled tail count)/p for the in-progress leaf
+// (variance ≤ b/p = b²). Per instance the variance is O(b²); with ≤ 4k
+// instances per round and geometrically decaying past rounds the total is
+// O((εn/c)²), i.e. error ≤ εn with probability ≥ 1 - O(1/c²).
+//
+// At a round boundary sites simply clear: completed leaves are already
+// covered by shipped summaries and the in-progress tail stays covered by
+// its frozen samples (scaled by that round's p), so no flush is needed.
+
+#ifndef DISTTRACK_RANK_RANDOMIZED_RANK_H_
+#define DISTTRACK_RANK_RANDOMIZED_RANK_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "disttrack/common/random.h"
+#include "disttrack/common/status.h"
+#include "disttrack/count/coarse_tracker.h"
+#include "disttrack/sim/protocol.h"
+#include "disttrack/summaries/compactor_summary.h"
+
+namespace disttrack {
+namespace rank {
+
+/// Options for RandomizedRankTracker.
+struct RandomizedRankOptions {
+  int num_sites = 8;
+  double epsilon = 0.01;
+  uint64_t seed = 1;
+
+  /// Constant-factor boost: shrinks the block size and raises p by c,
+  /// cutting the variance by c² at ~c× the communication.
+  double confidence_factor = 4.0;
+
+  Status Validate() const;
+};
+
+/// Randomized ε-approximate rank tracking (Theorem 4.1).
+class RandomizedRankTracker : public sim::RankTrackerInterface {
+ public:
+  explicit RandomizedRankTracker(const RandomizedRankOptions& options);
+
+  void Arrive(int site, uint64_t value) override;
+  double EstimateRank(uint64_t value) const override;
+  uint64_t TrueCount() const override { return n_; }
+  const sim::CommMeter& meter() const override { return meter_; }
+  const sim::SpaceGauge& space() const override { return space_; }
+
+  /// Element-forwarding probability p of the current round.
+  double p() const { return 1.0 / inv_p_; }
+
+  uint64_t rounds() const { return coarse_->round(); }
+
+  /// Tree height of algorithm C in the current round.
+  int height() const { return height_; }
+
+  /// Leaf block size b of the current round.
+  uint64_t block_size() const { return block_size_; }
+
+ private:
+  // A node summary shipped to the coordinator: sorted values with prefix
+  // weight sums for O(log) rank lookups.
+  struct StoredSummary {
+    uint32_t first_leaf = 0;
+    uint32_t end_leaf = 0;
+    std::vector<uint64_t> values;          // ascending
+    std::vector<uint64_t> weight_prefix;   // cumulative weights
+  };
+
+  struct ResidualSample {
+    uint32_t leaf;
+    uint64_t value;
+  };
+
+  // Everything the coordinator holds for one instance of algorithm C.
+  struct InstanceData {
+    std::vector<StoredSummary> summaries;
+    std::vector<ResidualSample> residuals;
+    double inv_p = 1.0;  // 1/p of the instance's round
+  };
+
+  struct SiteState {
+    uint64_t instance = 0;
+    uint64_t arrivals_in_chunk = 0;
+    uint64_t arrivals_in_leaf = 0;
+    uint32_t current_leaf = 0;
+    // nodes[l] is the active level-l node's summary (lazily created).
+    std::vector<std::unique_ptr<summaries::CompactorSummary>> nodes;
+    Rng rng{0};
+  };
+
+  void OnBroadcast(uint64_t round, uint64_t n_bar);
+  void RecomputeRoundParams(uint64_t n_bar);
+  void StartFreshInstance(SiteState* s);
+  void FlushNode(int site, SiteState* s, int level, uint32_t node_start,
+                 uint32_t end_leaf);
+  double LevelEps(int level) const;
+  void UpdateSpace(int site);
+  static double SummaryRankBelow(const StoredSummary& summary, uint64_t x);
+
+  RandomizedRankOptions options_;
+  sim::CommMeter meter_;
+  sim::SpaceGauge space_;
+  std::unique_ptr<count::CoarseTracker> coarse_;
+  std::vector<SiteState> sites_;
+
+  std::unordered_map<uint64_t, InstanceData> instances_;
+
+  // Round parameters.
+  double inv_p_ = 1.0;
+  uint64_t chunk_size_ = 1;
+  uint64_t block_size_ = 1;
+  uint32_t num_leaves_ = 1;
+  int height_ = 0;
+
+  uint64_t next_instance_ = 0;
+  uint64_t n_ = 0;
+};
+
+}  // namespace rank
+}  // namespace disttrack
+
+#endif  // DISTTRACK_RANK_RANDOMIZED_RANK_H_

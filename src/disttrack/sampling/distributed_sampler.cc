@@ -1,0 +1,82 @@
+#include "disttrack/sampling/distributed_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace disttrack {
+namespace sampling {
+
+Status DistributedSamplerOptions::Validate() const {
+  if (num_sites < 1) {
+    return Status::InvalidArgument("num_sites must be >= 1");
+  }
+  if (!(epsilon > 0.0) || epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1)");
+  }
+  if (!(sample_boost >= 1.0)) {
+    return Status::InvalidArgument("sample_boost must be >= 1");
+  }
+  return Status::OK();
+}
+
+DistributedSampler::DistributedSampler(
+    const DistributedSamplerOptions& options)
+    : options_(options),
+      meter_(options.num_sites),
+      space_(options.num_sites),
+      capacity_(static_cast<size_t>(
+          std::ceil(options.sample_boost / (options.epsilon * options.epsilon)))) {
+  site_rng_.reserve(static_cast<size_t>(options_.num_sites));
+  for (int i = 0; i < options_.num_sites; ++i) {
+    site_rng_.emplace_back(options_.seed * 0xD1B54A32D192ED03ull +
+                           static_cast<uint64_t>(i));
+    // A site stores only the current level j (plus its PRNG).
+    space_.Set(i, 2);
+  }
+}
+
+void DistributedSampler::Arrive(int site, uint64_t value) {
+  ++n_;
+  int elem_level = site_rng_[static_cast<size_t>(site)].GeometricLevel();
+  if (elem_level < level_) return;  // filtered at the site, no traffic
+
+  // Site -> coordinator: the element value and its level.
+  meter_.RecordUpload(site, 2);
+  sample_.push_back(Element{value, elem_level});
+
+  // Coordinator: advance the level while the sample overflows; each
+  // advance halves the sample in expectation and is broadcast so sites can
+  // tighten their send filter.
+  while (sample_.size() > 2 * capacity_) {
+    ++level_;
+    auto keep_end = std::remove_if(
+        sample_.begin(), sample_.end(),
+        [this](const Element& e) { return e.level < level_; });
+    sample_.erase(keep_end, sample_.end());
+    meter_.RecordBroadcast(1);
+  }
+}
+
+double DistributedSampler::EstimateCount() const {
+  return static_cast<double>(sample_.size()) *
+         std::pow(2.0, static_cast<double>(level_));
+}
+
+double DistributedSampler::EstimateFrequency(uint64_t item) const {
+  uint64_t hits = 0;
+  for (const Element& e : sample_) {
+    if (e.value == item) ++hits;
+  }
+  return static_cast<double>(hits) * std::pow(2.0, level_);
+}
+
+double DistributedSampler::EstimateRank(uint64_t x) const {
+  uint64_t below = 0;
+  for (const Element& e : sample_) {
+    if (e.value < x) ++below;
+  }
+  return static_cast<double>(below) * std::pow(2.0, level_);
+}
+
+}  // namespace sampling
+}  // namespace disttrack

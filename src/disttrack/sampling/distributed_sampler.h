@@ -1,0 +1,142 @@
+// Continuous distributed sampling (Cormode–Muthukrishnan–Yi–Zhang [9]) —
+// Table 1's "sampling" row and the paper's standing comparator (§1.2).
+//
+// Binary Bernoulli level sampling: each arriving element independently
+// draws a level ~ Geometric(1/2); a site forwards the element iff its level
+// reaches the current global level j, so the coordinator holds a
+// Bernoulli(2^-j) sample of the union stream. When the sample outgrows its
+// capacity the coordinator advances j, subsamples in place, and broadcasts
+// the new level. With capacity Θ(1/ε²) every count/frequency/rank query is
+// answered within ±εn with constant probability, using O(1/ε² · logN)
+// total communication and O(1) words per site.
+
+#ifndef DISTTRACK_SAMPLING_DISTRIBUTED_SAMPLER_H_
+#define DISTTRACK_SAMPLING_DISTRIBUTED_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "disttrack/common/random.h"
+#include "disttrack/common/status.h"
+#include "disttrack/sim/protocol.h"
+
+namespace disttrack {
+namespace sampling {
+
+/// Options for DistributedSampler.
+struct DistributedSamplerOptions {
+  int num_sites = 8;
+  double epsilon = 0.01;
+  uint64_t seed = 1;
+
+  /// Sample capacity multiplier: target sample size is
+  /// ceil(sample_boost / epsilon²); 4 gives std-dev ≤ εn/2 per query.
+  double sample_boost = 4.0;
+
+  Status Validate() const;
+};
+
+/// The [9] protocol; answers all three query types from one sample.
+class DistributedSampler {
+ public:
+  explicit DistributedSampler(const DistributedSamplerOptions& options);
+
+  /// One element with payload `value` (item id or orderable value) arrives
+  /// at `site`.
+  void Arrive(int site, uint64_t value);
+
+  /// Unbiased estimate of n.
+  double EstimateCount() const;
+
+  /// Unbiased estimate of the frequency of `item`.
+  double EstimateFrequency(uint64_t item) const;
+
+  /// Unbiased estimate of |{y : y < x}|.
+  double EstimateRank(uint64_t x) const;
+
+  uint64_t TrueCount() const { return n_; }
+  const sim::CommMeter& meter() const { return meter_; }
+  const sim::SpaceGauge& space() const { return space_; }
+
+  /// Current global sampling level j (inclusion probability 2^-j).
+  int level() const { return level_; }
+
+  /// Current coordinator-side sample size.
+  size_t SampleSize() const { return sample_.size(); }
+
+  /// Target capacity (the sample is subsampled when it exceeds 2x this).
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Element {
+    uint64_t value;
+    int level;
+  };
+
+  DistributedSamplerOptions options_;
+  sim::CommMeter meter_;
+  sim::SpaceGauge space_;
+  std::vector<Rng> site_rng_;
+  std::vector<Element> sample_;
+  size_t capacity_;
+  int level_ = 0;
+  uint64_t n_ = 0;
+};
+
+/// Adapter: DistributedSampler as a CountTrackerInterface.
+class SamplingCountTracker : public sim::CountTrackerInterface {
+ public:
+  explicit SamplingCountTracker(const DistributedSamplerOptions& options)
+      : sampler_(options) {}
+  void Arrive(int site) override { sampler_.Arrive(site, 0); }
+  double EstimateCount() const override { return sampler_.EstimateCount(); }
+  uint64_t TrueCount() const override { return sampler_.TrueCount(); }
+  const sim::CommMeter& meter() const override { return sampler_.meter(); }
+  const sim::SpaceGauge& space() const override { return sampler_.space(); }
+
+ private:
+  DistributedSampler sampler_;
+};
+
+/// Adapter: DistributedSampler as a FrequencyTrackerInterface.
+class SamplingFrequencyTracker : public sim::FrequencyTrackerInterface {
+ public:
+  explicit SamplingFrequencyTracker(const DistributedSamplerOptions& options)
+      : sampler_(options) {}
+  void Arrive(int site, uint64_t item) override {
+    sampler_.Arrive(site, item);
+  }
+  double EstimateFrequency(uint64_t item) const override {
+    return sampler_.EstimateFrequency(item);
+  }
+  uint64_t TrueCount() const override { return sampler_.TrueCount(); }
+  const sim::CommMeter& meter() const override { return sampler_.meter(); }
+  const sim::SpaceGauge& space() const override { return sampler_.space(); }
+
+ private:
+  DistributedSampler sampler_;
+};
+
+/// Adapter: DistributedSampler as a RankTrackerInterface.
+class SamplingRankTracker : public sim::RankTrackerInterface {
+ public:
+  explicit SamplingRankTracker(const DistributedSamplerOptions& options)
+      : sampler_(options) {}
+  void Arrive(int site, uint64_t value) override {
+    sampler_.Arrive(site, value);
+  }
+  double EstimateRank(uint64_t value) const override {
+    return sampler_.EstimateRank(value);
+  }
+  uint64_t TrueCount() const override { return sampler_.TrueCount(); }
+  const sim::CommMeter& meter() const override { return sampler_.meter(); }
+  const sim::SpaceGauge& space() const override { return sampler_.space(); }
+
+ private:
+  DistributedSampler sampler_;
+};
+
+}  // namespace sampling
+}  // namespace disttrack
+
+#endif  // DISTTRACK_SAMPLING_DISTRIBUTED_SAMPLER_H_

@@ -1,0 +1,87 @@
+#include "disttrack/sim/cluster.h"
+
+namespace disttrack {
+namespace sim {
+
+namespace {
+
+// Shared geometric-checkpoint replay skeleton. `deliver` pushes one arrival;
+// `sample` returns the (estimate, truth) pair at the current time.
+template <typename DeliverFn, typename SampleFn>
+std::vector<Checkpoint> ReplayImpl(const Workload& workload,
+                                   double checkpoint_factor, DeliverFn deliver,
+                                   SampleFn sample) {
+  if (checkpoint_factor <= 1.0) checkpoint_factor = 1.5;
+  std::vector<Checkpoint> out;
+  uint64_t n = 0;
+  double next = 1.0;
+  for (const Arrival& a : workload) {
+    deliver(a);
+    ++n;
+    if (static_cast<double>(n) >= next) {
+      auto [est, truth] = sample();
+      out.push_back(Checkpoint{n, est, truth});
+      next = static_cast<double>(n) * checkpoint_factor;
+    }
+  }
+  if (out.empty() || out.back().n != n) {
+    auto [est, truth] = sample();
+    out.push_back(Checkpoint{n, est, truth});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Checkpoint> ReplayCount(CountTrackerInterface* tracker,
+                                    const Workload& workload,
+                                    double checkpoint_factor) {
+  uint64_t n = 0;
+  return ReplayImpl(
+      workload, checkpoint_factor,
+      [&](const Arrival& a) {
+        tracker->Arrive(a.site);
+        ++n;
+      },
+      [&]() {
+        return std::pair<double, double>(tracker->EstimateCount(),
+                                         static_cast<double>(n));
+      });
+}
+
+std::vector<Checkpoint> ReplayFrequency(FrequencyTrackerInterface* tracker,
+                                        const Workload& workload,
+                                        uint64_t query_item,
+                                        double checkpoint_factor) {
+  uint64_t freq = 0;
+  return ReplayImpl(
+      workload, checkpoint_factor,
+      [&](const Arrival& a) {
+        tracker->Arrive(a.site, a.key);
+        if (a.key == query_item) ++freq;
+      },
+      [&]() {
+        return std::pair<double, double>(tracker->EstimateFrequency(query_item),
+                                         static_cast<double>(freq));
+      });
+}
+
+std::vector<Checkpoint> ReplayRank(RankTrackerInterface* tracker,
+                                   const Workload& workload,
+                                   uint64_t query_value,
+                                   double checkpoint_factor) {
+  uint64_t rank = 0;
+  return ReplayImpl(
+      workload, checkpoint_factor,
+      [&](const Arrival& a) {
+        tracker->Arrive(a.site, a.key);
+        if (a.key < query_value) ++rank;
+      },
+      [&]() {
+        return std::pair<double, double>(tracker->EstimateRank(query_value),
+                                         static_cast<double>(rank));
+      });
+}
+
+}  // namespace sim
+}  // namespace disttrack

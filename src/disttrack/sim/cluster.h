@@ -1,0 +1,59 @@
+// Replay driver: feeds a recorded workload into a tracker and samples the
+// estimate at checkpoints. This is the "cluster" of the simulation — all k
+// sites plus the coordinator advance in arrival order, exactly as in the
+// instant-communication model of §1.1.
+
+#ifndef DISTTRACK_SIM_CLUSTER_H_
+#define DISTTRACK_SIM_CLUSTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "disttrack/sim/protocol.h"
+
+namespace disttrack {
+namespace sim {
+
+/// One stream arrival: an element (item id or value, unused for counting)
+/// delivered to a site.
+struct Arrival {
+  int site = 0;
+  uint64_t key = 0;
+};
+
+/// A full recorded input: the adversary's arrival sequence.
+using Workload = std::vector<Arrival>;
+
+/// Estimate-vs-truth sample taken mid-replay.
+struct Checkpoint {
+  uint64_t n = 0;        ///< ground-truth count at the sample time
+  double estimate = 0;   ///< tracker's answer
+  double truth = 0;      ///< ground-truth answer to the sampled query
+};
+
+/// Replays a count workload, sampling EstimateCount() every time n grows by
+/// `checkpoint_factor` (>1) past the previous checkpoint, and once at the
+/// end. Returns the checkpoints in order.
+std::vector<Checkpoint> ReplayCount(CountTrackerInterface* tracker,
+                                    const Workload& workload,
+                                    double checkpoint_factor = 1.5);
+
+/// Replays a frequency workload, sampling EstimateFrequency(query_item) on
+/// the same geometric schedule.
+std::vector<Checkpoint> ReplayFrequency(FrequencyTrackerInterface* tracker,
+                                        const Workload& workload,
+                                        uint64_t query_item,
+                                        double checkpoint_factor = 1.5);
+
+/// Replays a rank workload, sampling EstimateRank(query_value) on the same
+/// geometric schedule. `truth` at each checkpoint is the exact rank of
+/// query_value among the elements delivered so far.
+std::vector<Checkpoint> ReplayRank(RankTrackerInterface* tracker,
+                                   const Workload& workload,
+                                   uint64_t query_value,
+                                   double checkpoint_factor = 1.5);
+
+}  // namespace sim
+}  // namespace disttrack
+
+#endif  // DISTTRACK_SIM_CLUSTER_H_

@@ -1,0 +1,87 @@
+// Abstract interfaces for the three continuous tracking problems (§1.2).
+//
+// Every concrete protocol — deterministic, randomized, or sampling-based —
+// implements one of these, so experiment harnesses, boosters, and examples
+// are written once against the interface.
+//
+// The simulation contract mirrors the model of §1.1: Arrive() delivers one
+// stream element to a site; all communication triggered by that arrival
+// completes (instantly) before Arrive() returns; estimates may be read at
+// any time between arrivals.
+
+#ifndef DISTTRACK_SIM_PROTOCOL_H_
+#define DISTTRACK_SIM_PROTOCOL_H_
+
+#include <cstdint>
+
+#include "disttrack/sim/comm_meter.h"
+#include "disttrack/sim/space_gauge.h"
+
+namespace disttrack {
+namespace sim {
+
+/// Count-tracking (§2): maintain n = Σ nᵢ within ±εn.
+class CountTrackerInterface {
+ public:
+  virtual ~CountTrackerInterface() = default;
+
+  /// One element arrives at `site` (0-based, < num_sites).
+  virtual void Arrive(int site) = 0;
+
+  /// The coordinator's current estimate n̂ of the global count.
+  virtual double EstimateCount() const = 0;
+
+  /// Ground-truth n, maintained by the harness side for evaluation only.
+  virtual uint64_t TrueCount() const = 0;
+
+  /// Communication spent so far.
+  virtual const CommMeter& meter() const = 0;
+
+  /// Per-site working-space watermark.
+  virtual const SpaceGauge& space() const = 0;
+};
+
+/// Frequency-tracking (§3): maintain every item frequency within ±εn.
+class FrequencyTrackerInterface {
+ public:
+  virtual ~FrequencyTrackerInterface() = default;
+
+  /// One copy of `item` arrives at `site`.
+  virtual void Arrive(int site, uint64_t item) = 0;
+
+  /// The coordinator's estimate f̂ⱼ of item `item`'s global frequency.
+  /// May be negative for rare items (the unbiased estimator (4) of §3.1).
+  virtual double EstimateFrequency(uint64_t item) const = 0;
+
+  /// Ground-truth n (total arrivals), for evaluation.
+  virtual uint64_t TrueCount() const = 0;
+
+  virtual const CommMeter& meter() const = 0;
+  virtual const SpaceGauge& space() const = 0;
+};
+
+/// Rank-tracking (§4): maintain the rank of any x within ±εn.
+/// Values live in a totally ordered integer universe; rank(x) counts
+/// elements strictly smaller than x (duplicates allowed by the harness and
+/// counted with multiplicity).
+class RankTrackerInterface {
+ public:
+  virtual ~RankTrackerInterface() = default;
+
+  /// One element with value `value` arrives at `site`.
+  virtual void Arrive(int site, uint64_t value) = 0;
+
+  /// The coordinator's estimate of |{y in stream : y < value}|.
+  virtual double EstimateRank(uint64_t value) const = 0;
+
+  /// Ground-truth n (total arrivals), for evaluation.
+  virtual uint64_t TrueCount() const = 0;
+
+  virtual const CommMeter& meter() const = 0;
+  virtual const SpaceGauge& space() const = 0;
+};
+
+}  // namespace sim
+}  // namespace disttrack
+
+#endif  // DISTTRACK_SIM_PROTOCOL_H_

@@ -1,0 +1,68 @@
+#include "disttrack/sim/space_gauge.h"
+
+#include <algorithm>
+
+namespace disttrack {
+namespace sim {
+
+SpaceGauge::SpaceGauge(int num_sites)
+    : current_(static_cast<size_t>(std::max(num_sites, 0)), 0),
+      peak_(static_cast<size_t>(std::max(num_sites, 0)), 0) {}
+
+void SpaceGauge::Set(int site, uint64_t words) {
+  if (site < 0 || site >= num_sites()) return;
+  auto s = static_cast<size_t>(site);
+  current_[s] = words;
+  peak_[s] = std::max(peak_[s], words);
+}
+
+void SpaceGauge::Add(int site, uint64_t delta) {
+  if (site < 0 || site >= num_sites()) return;
+  auto s = static_cast<size_t>(site);
+  current_[s] += delta;
+  peak_[s] = std::max(peak_[s], current_[s]);
+}
+
+void SpaceGauge::Sub(int site, uint64_t delta) {
+  if (site < 0 || site >= num_sites()) return;
+  auto s = static_cast<size_t>(site);
+  current_[s] = current_[s] >= delta ? current_[s] - delta : 0;
+}
+
+uint64_t SpaceGauge::Current(int site) const {
+  if (site < 0 || site >= num_sites()) return 0;
+  return current_[static_cast<size_t>(site)];
+}
+
+uint64_t SpaceGauge::Peak(int site) const {
+  if (site < 0 || site >= num_sites()) return 0;
+  return peak_[static_cast<size_t>(site)];
+}
+
+uint64_t SpaceGauge::MaxPeak() const {
+  uint64_t m = 0;
+  for (uint64_t p : peak_) m = std::max(m, p);
+  return m;
+}
+
+double SpaceGauge::MeanPeak() const {
+  if (peak_.empty()) return 0.0;
+  double s = 0;
+  for (uint64_t p : peak_) s += static_cast<double>(p);
+  return s / static_cast<double>(peak_.size());
+}
+
+void SpaceGauge::ClearCurrent() {
+  std::fill(current_.begin(), current_.end(), 0);
+}
+
+void SpaceGauge::MergeFrom(const SpaceGauge& other) {
+  size_t shared = std::min(current_.size(), other.current_.size());
+  for (size_t i = 0; i < shared; ++i) {
+    current_[i] += other.current_[i];
+    peak_[i] += other.peak_[i];
+  }
+}
+
+}  // namespace sim
+}  // namespace disttrack

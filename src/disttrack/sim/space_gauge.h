@@ -1,0 +1,63 @@
+// Per-site working-space accounting, in words, with high-watermark tracking.
+//
+// Table 1 of the paper bounds the space used *per site* to process its
+// stream (the coordinator's memory is not the bounded resource). Protocols
+// report their current footprint through a SpaceGauge after every mutation;
+// experiments read the high-watermark.
+
+#ifndef DISTTRACK_SIM_SPACE_GAUGE_H_
+#define DISTTRACK_SIM_SPACE_GAUGE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace disttrack {
+namespace sim {
+
+/// Records current and peak per-site space usage, measured in words.
+class SpaceGauge {
+ public:
+  explicit SpaceGauge(int num_sites);
+
+  /// Sets site `site`'s current usage to `words` and updates its peak.
+  void Set(int site, uint64_t words);
+
+  /// Adds `delta` words to site `site`'s current usage (may be negative via
+  /// Sub); updates the peak.
+  void Add(int site, uint64_t delta);
+
+  /// Removes `delta` words from site `site`'s current usage (clamped at 0).
+  void Sub(int site, uint64_t delta);
+
+  /// Current usage of one site.
+  uint64_t Current(int site) const;
+
+  /// Peak usage ever observed at one site.
+  uint64_t Peak(int site) const;
+
+  /// Max peak over all sites — the quantity Table 1 bounds.
+  uint64_t MaxPeak() const;
+
+  /// Mean of the per-site peaks.
+  double MeanPeak() const;
+
+  int num_sites() const { return static_cast<int>(current_.size()); }
+
+  /// Zeroes current values but keeps the peaks (a protocol round-reset frees
+  /// memory without erasing the historical watermark).
+  void ClearCurrent();
+
+  /// Adds `other`'s current and peak values site-wise into this gauge (sum
+  /// of peaks upper-bounds the peak of the sum; used by boosters running
+  /// several protocol copies at each site).
+  void MergeFrom(const SpaceGauge& other);
+
+ private:
+  std::vector<uint64_t> current_;
+  std::vector<uint64_t> peak_;
+};
+
+}  // namespace sim
+}  // namespace disttrack
+
+#endif  // DISTTRACK_SIM_SPACE_GAUGE_H_

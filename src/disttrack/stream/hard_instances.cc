@@ -1,0 +1,105 @@
+#include "disttrack/stream/hard_instances.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace disttrack {
+namespace stream {
+
+MuInstance MakeMuInstance(int k, uint64_t n, uint64_t seed) {
+  Rng rng(seed);
+  MuInstance out;
+  out.single_site_case = rng.Bernoulli(0.5);
+  out.workload.reserve(n);
+  if (out.single_site_case) {
+    out.chosen_site =
+        static_cast<int>(rng.UniformU64(static_cast<uint64_t>(k)));
+    for (uint64_t t = 0; t < n; ++t) {
+      out.workload.push_back({out.chosen_site, 0});
+    }
+  } else {
+    out.chosen_site = -1;
+    for (uint64_t t = 0; t < n; ++t) {
+      out.workload.push_back(
+          {static_cast<int>(t % static_cast<uint64_t>(k)), 0});
+    }
+  }
+  return out;
+}
+
+OneBitInstance MakeOneBitInstance(int k, uint64_t seed) {
+  Rng rng(seed);
+  OneBitInstance out;
+  uint64_t uk = static_cast<uint64_t>(k);
+  uint64_t root = static_cast<uint64_t>(std::llround(std::sqrt(uk)));
+  out.s_is_high = rng.Bernoulli(0.5);
+  uint64_t base = uk / 2;
+  out.s = out.s_is_high ? base + root : (base > root ? base - root : 0);
+  out.s = std::min(out.s, uk);
+  std::vector<uint32_t> chosen;
+  rng.SampleWithoutReplacement(uk, out.s, &chosen);
+  out.bits.assign(uk, 0);
+  for (uint32_t i : chosen) out.bits[i] = 1;
+  return out;
+}
+
+Theorem24Workload MakeTheorem24Workload(int k, double eps, uint64_t rounds,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  Theorem24Workload out;
+  double rk = std::sqrt(static_cast<double>(k));
+  uint64_t subrounds =
+      std::max<uint64_t>(1, static_cast<uint64_t>(1.0 / (2.0 * eps * rk)));
+  out.rounds = rounds;
+  out.subrounds_per_round = subrounds;
+  uint64_t uk = static_cast<uint64_t>(k);
+  uint64_t root = static_cast<uint64_t>(std::llround(rk));
+  for (uint64_t i = 0; i < rounds; ++i) {
+    uint64_t per_site = 1ull << std::min<uint64_t>(i, 40);
+    for (uint64_t j = 0; j < subrounds; ++j) {
+      bool high = rng.Bernoulli(0.5);
+      uint64_t base = uk / 2;
+      uint64_t s = high ? base + root : (base > root ? base - root : 0);
+      s = std::min(s, uk);
+      out.subround_s_high.push_back(high ? 1 : 0);
+      std::vector<uint32_t> chosen;
+      rng.SampleWithoutReplacement(uk, s, &chosen);
+      for (uint32_t site : chosen) {
+        for (uint64_t e = 0; e < per_site; ++e) {
+          out.workload.push_back({static_cast<int>(site), 0});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool ProbeAndGuessOneBit(const OneBitInstance& instance, uint64_t z,
+                         Rng* rng) {
+  uint64_t k = instance.bits.size();
+  z = std::min(z, k);
+  std::vector<uint32_t> probes;
+  rng->SampleWithoutReplacement(k, z, &probes);
+  uint64_t ones = 0;
+  for (uint32_t site : probes) ones += instance.bits[site];
+  // Optimal threshold test (Figure 1): the two hypergeometric means are
+  // z*(k/2±√k)/k; decide by the midpoint z/2.
+  double midpoint = static_cast<double>(z) / 2.0;
+  bool guess_high = static_cast<double>(ones) > midpoint;
+  if (static_cast<double>(ones) == midpoint) guess_high = rng->Bernoulli(0.5);
+  return guess_high == instance.s_is_high;
+}
+
+double OneBitSuccessRate(int k, uint64_t z, uint64_t trials, uint64_t seed) {
+  Rng rng(seed);
+  uint64_t hits = 0;
+  for (uint64_t t = 0; t < trials; ++t) {
+    OneBitInstance inst = MakeOneBitInstance(k, rng.NextU64());
+    if (ProbeAndGuessOneBit(inst, z, &rng)) ++hits;
+  }
+  return trials == 0 ? 0.0
+                     : static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+}  // namespace stream
+}  // namespace disttrack

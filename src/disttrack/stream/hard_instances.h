@@ -1,0 +1,77 @@
+// The lower-bound constructions of the paper, implemented verbatim as
+// workload generators:
+//
+//  * distribution µ (Theorem 2.2 / 2.3): with probability 1/2 all N
+//    elements arrive at one uniformly random site, otherwise round-robin;
+//  * the 1-bit problem (Definition 2.1 / Lemma 2.2): s = k/2 + √k or
+//    k/2 - √k sites hold bit 1, a uniformly random subset;
+//  * the Theorem 2.4 adversarial schedule: ℓ rounds of r = 1/(2ε√k)
+//    subrounds, each delivering 2^i elements to each of s random sites;
+//  * the sampling problem of Appendix A / Figure 1: distinguish the two
+//    hypergeometric (≈ normal) distributions by probing z sites.
+
+#ifndef DISTTRACK_STREAM_HARD_INSTANCES_H_
+#define DISTTRACK_STREAM_HARD_INSTANCES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "disttrack/common/random.h"
+#include "disttrack/sim/cluster.h"
+
+namespace disttrack {
+namespace stream {
+
+/// A draw from the hard input distribution µ of Theorem 2.2.
+struct MuInstance {
+  bool single_site_case = false;  ///< case (a): everything at one site
+  int chosen_site = 0;            ///< the site of case (a); -1 in case (b)
+  sim::Workload workload;
+};
+
+/// Samples µ: with probability 1/2 all n elements arrive at one uniformly
+/// random site (case a), otherwise round-robin over the k sites (case b).
+MuInstance MakeMuInstance(int k, uint64_t n, uint64_t seed);
+
+/// One 1-bit instance (Definition 2.1): `s` is k/2 + √k or k/2 - √k with
+/// equal probability; bits[i] = 1 for exactly s uniformly random sites.
+struct OneBitInstance {
+  uint64_t s = 0;
+  bool s_is_high = false;  ///< true iff s = k/2 + √k
+  std::vector<uint8_t> bits;
+};
+
+/// Samples a 1-bit instance over k sites (k >= 4 recommended so that the
+/// two values of s differ).
+OneBitInstance MakeOneBitInstance(int k, uint64_t seed);
+
+/// The Theorem 2.4 adversarial count workload: ℓ rounds; round i has
+/// r = max(1, 1/(2ε√k)) subrounds; each subround samples s ∈ {k/2±√k} and
+/// delivers 2^i elements to each of s uniformly random sites.
+/// Also records, per subround, which s was drawn (for protocols that try to
+/// answer the embedded 1-bit problem).
+struct Theorem24Workload {
+  sim::Workload workload;
+  std::vector<uint8_t> subround_s_high;  ///< per subround: s = k/2 + √k?
+  uint64_t rounds = 0;
+  uint64_t subrounds_per_round = 0;
+};
+
+Theorem24Workload MakeTheorem24Workload(int k, double eps, uint64_t rounds,
+                                        uint64_t seed);
+
+/// The Appendix-A sampling experiment: given a 1-bit instance, probe z
+/// uniformly random distinct sites and apply the optimal threshold test of
+/// Figure 1 (decide "s high" iff the number of sampled 1-bits exceeds the
+/// crossing point of the two densities, here the midpoint z*s_mid/k).
+/// Returns true iff the test answers correctly.
+bool ProbeAndGuessOneBit(const OneBitInstance& instance, uint64_t z, Rng* rng);
+
+/// Empirical success probability of ProbeAndGuessOneBit over `trials`
+/// fresh instances; reproduces the Figure 1 separation experiment.
+double OneBitSuccessRate(int k, uint64_t z, uint64_t trials, uint64_t seed);
+
+}  // namespace stream
+}  // namespace disttrack
+
+#endif  // DISTTRACK_STREAM_HARD_INSTANCES_H_

@@ -1,0 +1,142 @@
+#include "disttrack/stream/workload.h"
+
+#include <algorithm>
+
+#include "disttrack/stream/zipf.h"
+
+namespace disttrack {
+namespace stream {
+
+int ScheduleSite(SiteSchedule schedule, uint64_t t, uint64_t n, int k,
+                 Rng* rng) {
+  if (k <= 1) return 0;
+  switch (schedule) {
+    case SiteSchedule::kRoundRobin:
+      return static_cast<int>(t % static_cast<uint64_t>(k));
+    case SiteSchedule::kUniformRandom:
+      return static_cast<int>(rng->UniformU64(static_cast<uint64_t>(k)));
+    case SiteSchedule::kSingleSite:
+      return 0;
+    case SiteSchedule::kSkewedGeometric: {
+      // Site i with probability ~ 2^-(i+1); the tail collapses to site k-1.
+      int level = rng->GeometricLevel();
+      return level >= k ? k - 1 : level;
+    }
+    case SiteSchedule::kBursty: {
+      // k contiguous phases: elements [i*n/k, (i+1)*n/k) all land at site i.
+      uint64_t phase = n == 0 ? 0 : t * static_cast<uint64_t>(k) / n;
+      return static_cast<int>(std::min<uint64_t>(phase, k - 1));
+    }
+  }
+  return 0;
+}
+
+sim::Workload MakeCountWorkload(int k, uint64_t n, SiteSchedule schedule,
+                                uint64_t seed) {
+  Rng rng(seed);
+  sim::Workload w;
+  w.reserve(n);
+  for (uint64_t t = 0; t < n; ++t) {
+    w.push_back({ScheduleSite(schedule, t, n, k, &rng), 0});
+  }
+  return w;
+}
+
+sim::Workload MakeFrequencyWorkload(int k, uint64_t n, SiteSchedule schedule,
+                                    uint64_t universe, double zipf_alpha,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  ZipfGenerator zipf(universe, zipf_alpha, seed ^ 0xABCDEF1234567890ull);
+  sim::Workload w;
+  w.reserve(n);
+  for (uint64_t t = 0; t < n; ++t) {
+    w.push_back({ScheduleSite(schedule, t, n, k, &rng), zipf.Next()});
+  }
+  return w;
+}
+
+sim::Workload MakePlantedFrequencyWorkload(int k,
+                                           const std::vector<uint64_t>& counts,
+                                           SiteSchedule schedule,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> items;
+  for (uint64_t j = 0; j < counts.size(); ++j) {
+    for (uint64_t c = 0; c < counts[j]; ++c) items.push_back(j);
+  }
+  // Fisher–Yates shuffle so copies interleave adversarially-neutrally.
+  for (uint64_t i = items.size(); i > 1; --i) {
+    uint64_t j = rng.UniformU64(i);
+    std::swap(items[i - 1], items[j]);
+  }
+  uint64_t n = items.size();
+  sim::Workload w;
+  w.reserve(n);
+  for (uint64_t t = 0; t < n; ++t) {
+    w.push_back({ScheduleSite(schedule, t, n, k, &rng), items[t]});
+  }
+  return w;
+}
+
+sim::Workload MakeRankWorkload(int k, uint64_t n, SiteSchedule schedule,
+                               ValueOrder order, int universe_bits,
+                               uint64_t seed) {
+  Rng rng(seed);
+  Rng vrng(seed ^ 0x1234FEDCBA098765ull);
+  uint64_t universe = universe_bits >= 64 ? ~0ull : (1ull << universe_bits);
+  sim::Workload w;
+  w.reserve(n);
+  for (uint64_t t = 0; t < n; ++t) {
+    uint64_t v = 0;
+    switch (order) {
+      case ValueOrder::kUniformRandom:
+        v = vrng.UniformU64(universe);
+        break;
+      case ValueOrder::kAscending:
+        v = n <= 1 ? 0 : static_cast<uint64_t>(
+            static_cast<double>(t) / static_cast<double>(n) *
+            static_cast<double>(universe));
+        break;
+      case ValueOrder::kDescending:
+        v = n <= 1 ? 0 : static_cast<uint64_t>(
+            static_cast<double>(n - 1 - t) / static_cast<double>(n) *
+            static_cast<double>(universe));
+        break;
+      case ValueOrder::kClustered: {
+        // Four dense clusters at 1/8, 3/8, 5/8, 7/8 of the domain plus 10%
+        // uniform noise.
+        if (vrng.Bernoulli(0.1)) {
+          v = vrng.UniformU64(universe);
+        } else {
+          uint64_t c = vrng.UniformU64(4);
+          uint64_t center = universe / 8 + c * (universe / 4);
+          uint64_t spread = std::max<uint64_t>(1, universe / 64);
+          v = center - spread / 2 + vrng.UniformU64(spread);
+        }
+        break;
+      }
+    }
+    if (v >= universe) v = universe - 1;
+    w.push_back({ScheduleSite(schedule, t, n, k, &rng), v});
+  }
+  return w;
+}
+
+uint64_t ExactRank(const sim::Workload& workload, uint64_t x) {
+  uint64_t r = 0;
+  for (const auto& a : workload) {
+    if (a.key < x) ++r;
+  }
+  return r;
+}
+
+uint64_t ExactFrequency(const sim::Workload& workload, uint64_t item) {
+  uint64_t f = 0;
+  for (const auto& a : workload) {
+    if (a.key == item) ++f;
+  }
+  return f;
+}
+
+}  // namespace stream
+}  // namespace disttrack

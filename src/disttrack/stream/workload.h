@@ -1,0 +1,76 @@
+// Workload generators: who receives each element (site schedules) and what
+// the element is (item / value distributions).
+//
+// The model (§1.1) allows arbitrary, adversarially timed arrivals at
+// varying per-site rates. These generators cover the natural spread used
+// when evaluating tracking protocols: balanced (round-robin), random,
+// fully skewed (one site), geometrically skewed rates, and bursty phases —
+// plus the exact hard distributions from the lower-bound proofs (see
+// hard_instances.h).
+
+#ifndef DISTTRACK_STREAM_WORKLOAD_H_
+#define DISTTRACK_STREAM_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "disttrack/common/random.h"
+#include "disttrack/sim/cluster.h"
+
+namespace disttrack {
+namespace stream {
+
+/// How arrivals are spread over the k sites.
+enum class SiteSchedule {
+  kRoundRobin,       ///< site t mod k receives element t (case (b) of µ)
+  kUniformRandom,    ///< each element goes to an independent uniform site
+  kSingleSite,       ///< all elements at site 0 (case (a) of µ, fixed site)
+  kSkewedGeometric,  ///< site i receives ∝ 2^-i of the stream, randomly
+  kBursty,           ///< stream split into k contiguous bursts, one per site
+};
+
+/// What values the elements carry (rank workloads).
+enum class ValueOrder {
+  kUniformRandom,  ///< i.i.d. uniform over the universe
+  kAscending,      ///< sorted increasing (worst case for naive summaries)
+  kDescending,     ///< sorted decreasing
+  kClustered,      ///< a few dense clusters with uniform noise
+};
+
+/// Returns the site for element index `t` under `schedule`; `rng` supplies
+/// the randomness for randomized schedules.
+int ScheduleSite(SiteSchedule schedule, uint64_t t, uint64_t n, int k,
+                 Rng* rng);
+
+/// Count workload: n arrivals spread per `schedule`; keys are zero.
+sim::Workload MakeCountWorkload(int k, uint64_t n, SiteSchedule schedule,
+                                uint64_t seed);
+
+/// Frequency workload: n arrivals; items Zipf(alpha) over `universe`.
+sim::Workload MakeFrequencyWorkload(int k, uint64_t n, SiteSchedule schedule,
+                                    uint64_t universe, double zipf_alpha,
+                                    uint64_t seed);
+
+/// Frequency workload with exact planted frequencies: `counts[j]` copies of
+/// item j, interleaved uniformly at random, spread per `schedule`.
+sim::Workload MakePlantedFrequencyWorkload(int k,
+                                           const std::vector<uint64_t>& counts,
+                                           SiteSchedule schedule,
+                                           uint64_t seed);
+
+/// Rank workload: n values in [0, 2^universe_bits) per `order`, spread per
+/// `schedule`.
+sim::Workload MakeRankWorkload(int k, uint64_t n, SiteSchedule schedule,
+                               ValueOrder order, int universe_bits,
+                               uint64_t seed);
+
+/// Exact rank of `x` in `workload` (# keys < x); evaluation helper.
+uint64_t ExactRank(const sim::Workload& workload, uint64_t x);
+
+/// Exact frequency of `item` in `workload`; evaluation helper.
+uint64_t ExactFrequency(const sim::Workload& workload, uint64_t item);
+
+}  // namespace stream
+}  // namespace disttrack
+
+#endif  // DISTTRACK_STREAM_WORKLOAD_H_

@@ -1,0 +1,36 @@
+#include "disttrack/stream/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace disttrack {
+namespace stream {
+
+ZipfGenerator::ZipfGenerator(uint64_t universe, double alpha, uint64_t seed)
+    : alpha_(alpha), rng_(seed) {
+  if (universe == 0) universe = 1;
+  cdf_.resize(universe);
+  double total = 0;
+  for (uint64_t i = 0; i < universe; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -alpha);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+uint64_t ZipfGenerator::Next() {
+  double u = rng_.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfGenerator::Probability(uint64_t item) const {
+  if (item >= cdf_.size()) return 0.0;
+  if (item == 0) return cdf_[0];
+  return cdf_[item] - cdf_[item - 1];
+}
+
+}  // namespace stream
+}  // namespace disttrack

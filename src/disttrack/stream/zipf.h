@@ -1,0 +1,41 @@
+// Zipf-distributed item generator, the standard skewed-frequency workload
+// for heavy-hitter experiments (cf. the experimental study [7] cited in
+// §1.2, which uses skewed real and synthetic frequency data).
+
+#ifndef DISTTRACK_STREAM_ZIPF_H_
+#define DISTTRACK_STREAM_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "disttrack/common/random.h"
+
+namespace disttrack {
+namespace stream {
+
+/// Draws items from {0, ..., universe-1} with P(i) ∝ 1/(i+1)^alpha.
+/// Item 0 is the most frequent. alpha = 0 degenerates to uniform.
+class ZipfGenerator {
+ public:
+  /// Builds the inverse-CDF table. O(universe) construction, O(log u) draws.
+  ZipfGenerator(uint64_t universe, double alpha, uint64_t seed);
+
+  /// Returns the next item.
+  uint64_t Next();
+
+  /// Exact probability of item i under the distribution.
+  double Probability(uint64_t item) const;
+
+  uint64_t universe() const { return static_cast<uint64_t>(cdf_.size()); }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  Rng rng_;
+  std::vector<double> cdf_;  // cdf_[i] = P(item <= i)
+};
+
+}  // namespace stream
+}  // namespace disttrack
+
+#endif  // DISTTRACK_STREAM_ZIPF_H_

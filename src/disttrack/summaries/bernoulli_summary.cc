@@ -1,0 +1,46 @@
+#include "disttrack/summaries/bernoulli_summary.h"
+
+#include <algorithm>
+
+namespace disttrack {
+namespace summaries {
+
+BernoulliSampleSummary::BernoulliSampleSummary(double p, uint64_t seed)
+    : p_(std::clamp(p, 1e-12, 1.0)), rng_(seed) {}
+
+bool BernoulliSampleSummary::Insert(uint64_t value) {
+  ++inserted_;
+  if (rng_.Bernoulli(p_)) {
+    sample_.push_back(value);
+    return true;
+  }
+  return false;
+}
+
+double BernoulliSampleSummary::EstimateRank(uint64_t x) const {
+  uint64_t below = 0;
+  for (uint64_t v : sample_) {
+    if (v < x) ++below;
+  }
+  return static_cast<double>(below) / p_;
+}
+
+double BernoulliSampleSummary::EstimateCount() const {
+  return static_cast<double>(sample_.size()) / p_;
+}
+
+double BernoulliSampleSummary::EstimateFrequency(uint64_t value) const {
+  uint64_t hits = 0;
+  for (uint64_t v : sample_) {
+    if (v == value) ++hits;
+  }
+  return static_cast<double>(hits) / p_;
+}
+
+void BernoulliSampleSummary::Clear() {
+  sample_.clear();
+  inserted_ = 0;
+}
+
+}  // namespace summaries
+}  // namespace disttrack

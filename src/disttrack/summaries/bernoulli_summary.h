@@ -1,0 +1,54 @@
+// Plain Bernoulli(p) sample with exact storage — the "simple random
+// sampling" sub-estimator the paper leans on twice: the d_ij channel of the
+// frequency tracker (§3.1, estimator (4)) and the in-progress-tail channel
+// of the rank tracker (§4). Estimates are unbiased with variance <= m/p.
+
+#ifndef DISTTRACK_SUMMARIES_BERNOULLI_SUMMARY_H_
+#define DISTTRACK_SUMMARIES_BERNOULLI_SUMMARY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "disttrack/common/random.h"
+
+namespace disttrack {
+namespace summaries {
+
+/// Keeps each inserted value independently with probability p.
+class BernoulliSampleSummary {
+ public:
+  BernoulliSampleSummary(double p, uint64_t seed);
+
+  /// Inserts one value; returns true iff it was sampled (callers that model
+  /// communication send the value to the coordinator exactly then).
+  bool Insert(uint64_t value);
+
+  /// Unbiased estimate of the number of inserted values < x.
+  double EstimateRank(uint64_t x) const;
+
+  /// Unbiased estimate of the number of insertions.
+  double EstimateCount() const;
+
+  /// Unbiased estimate of the number of insertions equal to `value`.
+  double EstimateFrequency(uint64_t value) const;
+
+  double p() const { return p_; }
+  uint64_t inserted() const { return inserted_; }
+  size_t SampleSize() const { return sample_.size(); }
+  const std::vector<uint64_t>& sample() const { return sample_; }
+  uint64_t SpaceWords() const { return sample_.size() + 2; }
+
+  void Clear();
+
+ private:
+  double p_;
+  Rng rng_;
+  uint64_t inserted_ = 0;
+  std::vector<uint64_t> sample_;
+};
+
+}  // namespace summaries
+}  // namespace disttrack
+
+#endif  // DISTTRACK_SUMMARIES_BERNOULLI_SUMMARY_H_

@@ -1,0 +1,140 @@
+#include "disttrack/summaries/compactor_summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace disttrack {
+namespace summaries {
+
+namespace {
+
+// Capacity from eps: s >= 2/eps keeps the martingale variance bound
+// 4 m^2 / s^2 below (eps m)^2; force even so compactions conserve weight.
+size_t CapacityFor(double eps) {
+  if (eps <= 0) eps = 1e-9;
+  double raw = std::ceil(2.0 / eps);
+  auto s = static_cast<size_t>(std::min(raw, 1e9));
+  if (s < 2) s = 2;
+  if (s % 2 == 1) ++s;
+  return s;
+}
+
+}  // namespace
+
+CompactorSummary::CompactorSummary(double eps, uint64_t seed)
+    : eps_(eps), capacity_(CapacityFor(eps)), rng_(seed) {
+  levels_.emplace_back();
+}
+
+void CompactorSummary::Insert(uint64_t value) {
+  ++m_;
+  levels_[0].push_back(value);
+  for (size_t level = 0; level < levels_.size(); ++level) {
+    if (levels_[level].size() >= capacity_) CompactLevel(level);
+  }
+}
+
+void CompactorSummary::CompactLevel(size_t level) {
+  // Grow the hierarchy first: emplace_back may reallocate `levels_`, so no
+  // reference into it may be taken before this point.
+  if (levels_.size() <= level + 1) levels_.emplace_back();
+  auto& buf = levels_[level];
+  // Compact an even prefix so total weight is conserved exactly; an odd
+  // straggler stays behind for the next compaction.
+  size_t take = buf.size() & ~size_t{1};
+  if (take < 2) return;
+  std::sort(buf.begin(), buf.begin() + static_cast<long>(take));
+  size_t offset = rng_.Bernoulli(0.5) ? 1 : 0;
+  auto& up = levels_[level + 1];
+  for (size_t i = offset; i < take; i += 2) up.push_back(buf[i]);
+  // Keep any straggler (index >= take).
+  buf.erase(buf.begin(), buf.begin() + static_cast<long>(take));
+}
+
+double CompactorSummary::EstimateRank(uint64_t x) const {
+  double rank = 0;
+  double weight = 1;
+  for (const auto& buf : levels_) {
+    uint64_t below = 0;
+    for (uint64_t v : buf) {
+      if (v < x) ++below;
+    }
+    rank += weight * static_cast<double>(below);
+    weight *= 2;
+  }
+  return rank;
+}
+
+uint64_t CompactorSummary::WeightTotal() const {
+  uint64_t total = 0;
+  uint64_t weight = 1;
+  for (const auto& buf : levels_) {
+    total += weight * buf.size();
+    weight *= 2;
+  }
+  return total;
+}
+
+uint64_t CompactorSummary::Quantile(double phi) const {
+  auto items = Items();
+  if (items.empty()) return 0;
+  std::sort(items.begin(), items.end());
+  phi = std::clamp(phi, 0.0, 1.0);
+  double target = phi * static_cast<double>(WeightTotal());
+  double acc = 0;
+  for (const auto& [value, weight] : items) {
+    acc += static_cast<double>(weight);
+    if (acc >= target) return value;
+  }
+  return items.back().first;
+}
+
+void CompactorSummary::MergeFrom(const CompactorSummary& other) {
+  m_ += other.m_;
+  if (levels_.size() < other.levels_.size()) {
+    levels_.resize(other.levels_.size());
+  }
+  for (size_t level = 0; level < other.levels_.size(); ++level) {
+    auto& dst = levels_[level];
+    const auto& src = other.levels_[level];
+    dst.insert(dst.end(), src.begin(), src.end());
+  }
+  for (size_t level = 0; level < levels_.size(); ++level) {
+    while (levels_[level].size() >= capacity_) {
+      size_t before = levels_[level].size();
+      CompactLevel(level);
+      if (levels_[level].size() == before) break;  // odd straggler only
+    }
+  }
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> CompactorSummary::Items() const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  uint64_t weight = 1;
+  for (const auto& buf : levels_) {
+    for (uint64_t v : buf) out.emplace_back(v, weight);
+    weight *= 2;
+  }
+  return out;
+}
+
+uint64_t CompactorSummary::SerializedWords() const {
+  uint64_t items = 0;
+  for (const auto& buf : levels_) items += buf.size();
+  return items + levels_.size() + 1;
+}
+
+uint64_t CompactorSummary::SpaceWords() const {
+  uint64_t words = 2;
+  for (const auto& buf : levels_) words += buf.size() + 1;
+  return words;
+}
+
+void CompactorSummary::Clear() {
+  levels_.clear();
+  levels_.emplace_back();
+  m_ = 0;
+}
+
+}  // namespace summaries
+}  // namespace disttrack

@@ -1,0 +1,100 @@
+#include "disttrack/summaries/gk_summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace disttrack {
+namespace summaries {
+
+GKSummary::GKSummary(double eps) : eps_(std::clamp(eps, 1e-9, 0.5)) {}
+
+void GKSummary::Insert(uint64_t value) {
+  ++n_;
+  // Locate the first tuple with tuple.value >= value.
+  auto it = std::lower_bound(
+      tuples_.begin(), tuples_.end(), value,
+      [](const Tuple& t, uint64_t v) { return t.value < v; });
+  uint64_t delta;
+  if (it == tuples_.begin() || it == tuples_.end()) {
+    delta = 0;  // new minimum or maximum: rank known exactly
+  } else {
+    double band = 2.0 * eps_ * static_cast<double>(n_);
+    delta = band < 1.0 ? 0 : static_cast<uint64_t>(band) - 1;
+  }
+  tuples_.insert(it, Tuple{value, 1, delta});
+  if (++inserts_since_compress_ >=
+      static_cast<uint64_t>(1.0 / (2.0 * eps_)) + 1) {
+    Compress();
+    inserts_since_compress_ = 0;
+  }
+}
+
+void GKSummary::Compress() {
+  if (tuples_.size() < 3) return;
+  double threshold = 2.0 * eps_ * static_cast<double>(n_);
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size());
+  merged.push_back(tuples_[0]);
+  // Never merge into the last tuple (keep the max exact); walk left to
+  // right, folding tuple i into its successor when the capacity allows.
+  for (size_t i = 1; i + 1 < tuples_.size(); ++i) {
+    Tuple& prev = merged.back();
+    const Tuple& cur = tuples_[i];
+    // Fold prev into cur if combined uncertainty fits the band, and prev is
+    // not the first tuple (keep the min exact).
+    if (merged.size() > 1 &&
+        static_cast<double>(prev.g + cur.g + cur.delta) <= threshold) {
+      Tuple folded = cur;
+      folded.g += prev.g;
+      merged.back() = folded;
+    } else {
+      merged.push_back(cur);
+    }
+  }
+  merged.push_back(tuples_.back());
+  tuples_ = std::move(merged);
+}
+
+uint64_t GKSummary::EstimateRank(uint64_t x) const {
+  // Accumulate rmin over tuples with value < x. At the first tuple with
+  // value >= x, the true rank of x lies in [rmin, rmin + g + delta - 1];
+  // answer the midpoint, whose error is bounded by (g + delta)/2 <= eps*n
+  // by the compression invariant.
+  uint64_t rmin = 0;
+  for (const Tuple& t : tuples_) {
+    if (t.value < x) {
+      rmin += t.g;
+    } else {
+      uint64_t upper = rmin + t.g + t.delta;
+      uint64_t hi = upper > 0 ? upper - 1 : 0;
+      uint64_t mid = (rmin + hi) / 2;
+      return std::min<uint64_t>(std::max(mid, rmin), n_);
+    }
+  }
+  return n_;  // x exceeds every summarized value
+}
+
+uint64_t GKSummary::Quantile(double phi) const {
+  if (tuples_.empty()) return 0;
+  phi = std::clamp(phi, 0.0, 1.0);
+  double target = phi * static_cast<double>(n_);
+  double allowed = eps_ * static_cast<double>(n_);
+  // Return the first tuple whose whole rank interval reaches the target's
+  // tolerance window; the GK invariant guarantees one exists.
+  uint64_t rmin = 0;
+  for (const Tuple& t : tuples_) {
+    rmin += t.g;
+    double rmax = static_cast<double>(rmin + t.delta);
+    if (rmax + allowed >= target) return t.value;
+  }
+  return tuples_.back().value;
+}
+
+void GKSummary::Clear() {
+  tuples_.clear();
+  n_ = 0;
+  inserts_since_compress_ = 0;
+}
+
+}  // namespace summaries
+}  // namespace disttrack

@@ -1,0 +1,62 @@
+// Greenwald–Khanna quantile summary [12] — the best deterministic streaming
+// rank/quantile structure (§1.3). Used as the per-site substrate of
+// deterministic rank baselines and as the reference oracle in tests.
+//
+// This is the standard simplified-compress variant: tuples (v, g, Δ) kept
+// sorted by value; adjacent tuples merge whenever g_i + g_{i+1} + Δ_{i+1}
+// <= 2εn. It preserves the εn error guarantee of the banded original with
+// a slightly larger constant in space.
+
+#ifndef DISTTRACK_SUMMARIES_GK_SUMMARY_H_
+#define DISTTRACK_SUMMARIES_GK_SUMMARY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace disttrack {
+namespace summaries {
+
+/// Deterministic ε-approximate rank summary over uint64 values.
+class GKSummary {
+ public:
+  /// `eps` in (0, 1): every rank answer is within eps * n of truth.
+  explicit GKSummary(double eps);
+
+  /// Inserts one value. Amortized O(log(1/eps) + log n) via periodic
+  /// compression.
+  void Insert(uint64_t value);
+
+  /// Estimate of |{y : y < x}|, within eps*n of the true rank.
+  uint64_t EstimateRank(uint64_t x) const;
+
+  /// An element whose rank is within eps*n of floor(phi*n), phi in [0,1].
+  /// Returns 0 on an empty summary.
+  uint64_t Quantile(double phi) const;
+
+  uint64_t n() const { return n_; }
+  double eps() const { return eps_; }
+  size_t NumTuples() const { return tuples_.size(); }
+  uint64_t SpaceWords() const { return 3 * tuples_.size() + 2; }
+
+  void Clear();
+
+ private:
+  struct Tuple {
+    uint64_t value;  // sample value
+    uint64_t g;      // rmin(this) - rmin(prev)
+    uint64_t delta;  // rmax(this) - rmin(this)
+  };
+
+  void Compress();
+
+  double eps_;
+  uint64_t n_ = 0;
+  uint64_t inserts_since_compress_ = 0;
+  std::vector<Tuple> tuples_;  // sorted by value
+};
+
+}  // namespace summaries
+}  // namespace disttrack
+
+#endif  // DISTTRACK_SUMMARIES_GK_SUMMARY_H_

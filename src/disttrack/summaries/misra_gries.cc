@@ -1,0 +1,55 @@
+#include "disttrack/summaries/misra_gries.h"
+
+#include <algorithm>
+
+namespace disttrack {
+namespace summaries {
+
+MisraGries::MisraGries(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  counters_.reserve(capacity_ + 1);
+}
+
+void MisraGries::Insert(uint64_t item) {
+  ++n_;
+  auto it = counters_.find(item);
+  if (it != counters_.end()) {
+    ++it->second;
+    return;
+  }
+  if (counters_.size() < capacity_) {
+    counters_.emplace(item, 1);
+    return;
+  }
+  // Sketch full and item untracked: decrement every counter (the arriving
+  // item's implicit counter of 1 is cancelled together with them).
+  ++decrement_events_;
+  for (auto iter = counters_.begin(); iter != counters_.end();) {
+    if (--iter->second == 0) {
+      iter = counters_.erase(iter);
+    } else {
+      ++iter;
+    }
+  }
+}
+
+uint64_t MisraGries::Estimate(uint64_t item) const {
+  auto it = counters_.find(item);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> MisraGries::Items() const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [item, count] : counters_) out.emplace_back(item, count);
+  return out;
+}
+
+void MisraGries::Clear() {
+  counters_.clear();
+  n_ = 0;
+  decrement_events_ = 0;
+}
+
+}  // namespace summaries
+}  // namespace disttrack

@@ -1,0 +1,60 @@
+// Misra–Gries frequent-items summary [20] — "the MG algorithm" of §1.3,
+// the optimal O(1/ε)-space deterministic heavy-hitters sketch. Used as the
+// per-site sketch of the deterministic frequency tracker [29].
+
+#ifndef DISTTRACK_SUMMARIES_MISRA_GRIES_H_
+#define DISTTRACK_SUMMARIES_MISRA_GRIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace disttrack {
+namespace summaries {
+
+/// Deterministic frequent-items sketch with `capacity` counters.
+///
+/// Guarantee: for every item j, f_j - n/(capacity+1) <= Estimate(j) <= f_j,
+/// where n is the number of insertions. Equivalently, with capacity
+/// ceil(1/eps) the undercount is at most eps*n.
+class MisraGries {
+ public:
+  explicit MisraGries(size_t capacity);
+
+  /// Inserts one copy of `item`. Amortized O(1).
+  void Insert(uint64_t item);
+
+  /// Lower-bound estimate of item's frequency (0 if untracked).
+  uint64_t Estimate(uint64_t item) const;
+
+  /// Exact upper bound on the undercount of any estimate: the number of
+  /// decrement events so far (<= n/(capacity+1)).
+  uint64_t UndercountBound() const { return decrement_events_; }
+
+  /// Number of insertions so far.
+  uint64_t n() const { return n_; }
+
+  /// Currently tracked (item, counter) pairs, unordered.
+  std::vector<std::pair<uint64_t, uint64_t>> Items() const;
+
+  size_t NumCounters() const { return counters_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Working-space footprint in words (two words per live counter).
+  uint64_t SpaceWords() const { return 2 * counters_.size() + 2; }
+
+  /// Removes all counters and statistics.
+  void Clear();
+
+ private:
+  size_t capacity_;
+  uint64_t n_ = 0;
+  uint64_t decrement_events_ = 0;
+  std::unordered_map<uint64_t, uint64_t> counters_;
+};
+
+}  // namespace summaries
+}  // namespace disttrack
+
+#endif  // DISTTRACK_SUMMARIES_MISRA_GRIES_H_

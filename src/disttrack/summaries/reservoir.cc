@@ -1,0 +1,59 @@
+#include "disttrack/summaries/reservoir.h"
+
+#include <algorithm>
+
+namespace disttrack {
+namespace summaries {
+
+ReservoirSample::ReservoirSample(size_t capacity, uint64_t seed)
+    : capacity_(std::max<size_t>(1, capacity)), rng_(seed) {
+  sample_.reserve(capacity_);
+}
+
+void ReservoirSample::Insert(uint64_t value) {
+  ++n_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(value);
+    return;
+  }
+  uint64_t j = rng_.UniformU64(n_);
+  if (j < capacity_) sample_[static_cast<size_t>(j)] = value;
+}
+
+double ReservoirSample::EstimateRank(uint64_t x) const {
+  if (sample_.empty()) return 0.0;
+  uint64_t below = 0;
+  for (uint64_t v : sample_) {
+    if (v < x) ++below;
+  }
+  return static_cast<double>(below) / static_cast<double>(sample_.size()) *
+         static_cast<double>(n_);
+}
+
+double ReservoirSample::EstimateFrequency(uint64_t value) const {
+  if (sample_.empty()) return 0.0;
+  uint64_t hits = 0;
+  for (uint64_t v : sample_) {
+    if (v == value) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(sample_.size()) *
+         static_cast<double>(n_);
+}
+
+uint64_t ReservoirSample::Quantile(double phi) const {
+  if (sample_.empty()) return 0;
+  std::vector<uint64_t> sorted = sample_;
+  std::sort(sorted.begin(), sorted.end());
+  phi = std::clamp(phi, 0.0, 1.0);
+  size_t idx = static_cast<size_t>(phi * static_cast<double>(sorted.size()));
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+void ReservoirSample::Clear() {
+  sample_.clear();
+  n_ = 0;
+}
+
+}  // namespace summaries
+}  // namespace disttrack

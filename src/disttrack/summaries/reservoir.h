@@ -1,0 +1,52 @@
+// Classic size-s reservoir sample (Vitter's algorithm R). The paper's §1.2
+// compares all tracking problems against random sampling of size O(1/ε²)
+// [25]; the reservoir provides that comparator in one-shot (streaming) form
+// and is used by tests as a reference sampler.
+
+#ifndef DISTTRACK_SUMMARIES_RESERVOIR_H_
+#define DISTTRACK_SUMMARIES_RESERVOIR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "disttrack/common/random.h"
+
+namespace disttrack {
+namespace summaries {
+
+/// Uniform without-replacement sample of fixed capacity over a stream.
+class ReservoirSample {
+ public:
+  ReservoirSample(size_t capacity, uint64_t seed);
+
+  /// Offers one value to the reservoir.
+  void Insert(uint64_t value);
+
+  /// Estimate of the rank of x in the stream: (fraction of sample < x) * n.
+  double EstimateRank(uint64_t x) const;
+
+  /// Estimate of the frequency of `value`: (fraction of sample == v) * n.
+  double EstimateFrequency(uint64_t value) const;
+
+  /// Element at the phi-quantile of the sample (0 on empty).
+  uint64_t Quantile(double phi) const;
+
+  uint64_t n() const { return n_; }
+  size_t capacity() const { return capacity_; }
+  const std::vector<uint64_t>& sample() const { return sample_; }
+  uint64_t SpaceWords() const { return sample_.size() + 2; }
+
+  void Clear();
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  uint64_t n_ = 0;
+  std::vector<uint64_t> sample_;
+};
+
+}  // namespace summaries
+}  // namespace disttrack
+
+#endif  // DISTTRACK_SUMMARIES_RESERVOIR_H_

@@ -1,0 +1,79 @@
+#include "disttrack/summaries/space_saving.h"
+
+#include <algorithm>
+
+namespace disttrack {
+namespace summaries {
+
+SpaceSaving::SpaceSaving(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  entries_.reserve(capacity_ + 1);
+}
+
+void SpaceSaving::DetachFromBucket(uint64_t item, uint64_t count) {
+  auto bucket = buckets_.find(count);
+  bucket->second.erase(item);
+  if (bucket->second.empty()) buckets_.erase(bucket);
+}
+
+void SpaceSaving::AttachToBucket(uint64_t item, uint64_t count) {
+  buckets_[count].insert(item);
+}
+
+void SpaceSaving::Insert(uint64_t item) {
+  ++n_;
+  auto it = entries_.find(item);
+  if (it != entries_.end()) {
+    DetachFromBucket(item, it->second.count);
+    ++it->second.count;
+    AttachToBucket(item, it->second.count);
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    entries_.emplace(item, Entry{1, 0});
+    AttachToBucket(item, 1);
+    return;
+  }
+  // Evict one minimum-count item; the newcomer inherits its count as error.
+  auto min_bucket = buckets_.begin();
+  uint64_t min_count = min_bucket->first;
+  uint64_t victim = *min_bucket->second.begin();
+  DetachFromBucket(victim, min_count);
+  entries_.erase(victim);
+  entries_.emplace(item, Entry{min_count + 1, min_count});
+  AttachToBucket(item, min_count + 1);
+}
+
+uint64_t SpaceSaving::Estimate(uint64_t item) const {
+  auto it = entries_.find(item);
+  if (it != entries_.end()) return it->second.count;
+  return buckets_.empty() ? 0 : buckets_.begin()->first;
+}
+
+uint64_t SpaceSaving::OvercountBound(uint64_t item) const {
+  auto it = entries_.find(item);
+  if (it != entries_.end()) return it->second.error;
+  return buckets_.empty() ? 0 : buckets_.begin()->first;
+}
+
+bool SpaceSaving::IsMonitored(uint64_t item) const {
+  return entries_.find(item) != entries_.end();
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> SpaceSaving::Items() const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  out.reserve(entries_.size());
+  for (const auto& [item, entry] : entries_) {
+    out.emplace_back(item, entry.count);
+  }
+  return out;
+}
+
+void SpaceSaving::Clear() {
+  entries_.clear();
+  buckets_.clear();
+  n_ = 0;
+}
+
+}  // namespace summaries
+}  // namespace disttrack

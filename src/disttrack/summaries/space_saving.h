@@ -1,0 +1,72 @@
+// SpaceSaving frequent-items summary (Metwally et al. [19]) — one of the
+// optimal O(1/ε)-space alternatives to Misra–Gries cited in §1.2/§1.3.
+// Included so the frequency substrate offers both over- and under-estimating
+// sketches; the deterministic tracker can be configured with either.
+
+#ifndef DISTTRACK_SUMMARIES_SPACE_SAVING_H_
+#define DISTTRACK_SUMMARIES_SPACE_SAVING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace disttrack {
+namespace summaries {
+
+/// Deterministic frequent-items sketch with `capacity` monitored items.
+///
+/// Guarantee: f_j <= Estimate(j) <= f_j + n/capacity for monitored items,
+/// and any item with f_j > n/capacity is monitored.
+class SpaceSaving {
+ public:
+  explicit SpaceSaving(size_t capacity);
+
+  /// Inserts one copy of `item`. O(log capacity).
+  void Insert(uint64_t item);
+
+  /// Over-estimate of `item`'s frequency. Unmonitored items return the
+  /// current minimum counter (the standard conservative answer).
+  uint64_t Estimate(uint64_t item) const;
+
+  /// Upper bound on the overcount of `item`'s estimate (its inherited error
+  /// if monitored, otherwise the minimum counter).
+  uint64_t OvercountBound(uint64_t item) const;
+
+  /// True iff the item currently owns a counter.
+  bool IsMonitored(uint64_t item) const;
+
+  /// Number of insertions so far.
+  uint64_t n() const { return n_; }
+
+  /// Monitored (item, counter) pairs, unordered.
+  std::vector<std::pair<uint64_t, uint64_t>> Items() const;
+
+  size_t NumCounters() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t SpaceWords() const { return 3 * entries_.size() + 2; }
+
+  void Clear();
+
+ private:
+  struct Entry {
+    uint64_t count = 0;
+    uint64_t error = 0;
+  };
+
+  void DetachFromBucket(uint64_t item, uint64_t count);
+  void AttachToBucket(uint64_t item, uint64_t count);
+
+  size_t capacity_;
+  uint64_t n_ = 0;
+  std::unordered_map<uint64_t, Entry> entries_;
+  // count -> set of items with that count; begin() is the eviction victim.
+  std::map<uint64_t, std::unordered_set<uint64_t>> buckets_;
+};
+
+}  // namespace summaries
+}  // namespace disttrack
+
+#endif  // DISTTRACK_SUMMARIES_SPACE_SAVING_H_

@@ -1,0 +1,53 @@
+#include "disttrack/summaries/sticky_sampling.h"
+
+#include <algorithm>
+
+namespace disttrack {
+namespace summaries {
+
+StickySampling::StickySampling(double p, uint64_t seed)
+    : p_(std::clamp(p, 1e-12, 1.0)), rng_(seed) {}
+
+StickySampling::InsertResult StickySampling::Insert(uint64_t item) {
+  ++n_;
+  auto it = counters_.find(item);
+  if (it != counters_.end()) {
+    ++it->second;
+    return InsertResult{false, true, it->second};
+  }
+  if (rng_.Bernoulli(p_)) {
+    counters_.emplace(item, 1);
+    return InsertResult{true, true, 1};
+  }
+  return InsertResult{false, false, 0};
+}
+
+uint64_t StickySampling::Count(uint64_t item) const {
+  auto it = counters_.find(item);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double StickySampling::UnbiasedEstimate(uint64_t item) const {
+  auto it = counters_.find(item);
+  if (it == counters_.end()) return 0.0;
+  return static_cast<double>(it->second) - 1.0 + 1.0 / p_;
+}
+
+bool StickySampling::IsTracked(uint64_t item) const {
+  return counters_.find(item) != counters_.end();
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> StickySampling::Items() const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [item, count] : counters_) out.emplace_back(item, count);
+  return out;
+}
+
+void StickySampling::Clear() {
+  counters_.clear();
+  n_ = 0;
+}
+
+}  // namespace summaries
+}  // namespace disttrack

@@ -1,0 +1,67 @@
+// Sticky sampling counter list (Manku–Motwani [18]) — the per-site counter
+// structure L_i of the randomized frequency tracker (§3.1): an item gets a
+// counter with probability p on arrival while untracked; once tracked it is
+// counted exactly. Expected size O(p * n).
+
+#ifndef DISTTRACK_SUMMARIES_STICKY_SAMPLING_H_
+#define DISTTRACK_SUMMARIES_STICKY_SAMPLING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "disttrack/common/random.h"
+
+namespace disttrack {
+namespace summaries {
+
+/// Randomized counter list with per-arrival sampling probability p.
+class StickySampling {
+ public:
+  /// `p` in (0, 1]; `seed` derives the private coin sequence.
+  StickySampling(double p, uint64_t seed);
+
+  /// Outcome of one insertion.
+  struct InsertResult {
+    bool created = false;   ///< a new counter was started by this arrival
+    bool tracked = false;   ///< the item has a counter after this arrival
+    uint64_t count = 0;     ///< counter value after this arrival (0 if none)
+  };
+
+  /// Inserts one copy of `item`; flips the Bernoulli(p) coin exactly once
+  /// when the item is untracked (the coin that creates the counter), as in
+  /// §3.1. Tracked items are counted deterministically.
+  InsertResult Insert(uint64_t item);
+
+  /// Counter value (0 if untracked). This undercounts f by the number of
+  /// copies that arrived before the counter was created.
+  uint64_t Count(uint64_t item) const;
+
+  /// The unbiased frequency estimator of Lemma 2.1 applied to the counter:
+  /// count - 1 + 1/p when tracked, 0 otherwise. E[estimate] = f.
+  double UnbiasedEstimate(uint64_t item) const;
+
+  bool IsTracked(uint64_t item) const;
+
+  uint64_t n() const { return n_; }
+  double p() const { return p_; }
+  size_t NumCounters() const { return counters_.size(); }
+  uint64_t SpaceWords() const { return 2 * counters_.size() + 2; }
+
+  /// Tracked (item, counter) pairs, unordered.
+  std::vector<std::pair<uint64_t, uint64_t>> Items() const;
+
+  void Clear();
+
+ private:
+  double p_;
+  Rng rng_;
+  uint64_t n_ = 0;
+  std::unordered_map<uint64_t, uint64_t> counters_;
+};
+
+}  // namespace summaries
+}  // namespace disttrack
+
+#endif  // DISTTRACK_SUMMARIES_STICKY_SAMPLING_H_

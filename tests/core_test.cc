@@ -1,0 +1,194 @@
+// Tests for disttrack/core: factory validation, all nine algorithm×problem
+// combinations, and the median booster (§1.2's all-times construction).
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "disttrack/core/median_booster.h"
+#include "disttrack/core/tracking.h"
+#include "disttrack/stream/workload.h"
+#include "test_util.h"
+
+namespace disttrack {
+namespace core {
+namespace {
+
+using stream::MakeCountWorkload;
+using stream::SiteSchedule;
+
+TEST(TrackerOptionsTest, Validation) {
+  TrackerOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.num_sites = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = TrackerOptions{};
+  o.epsilon = 1.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = TrackerOptions{};
+  o.median_copies = 2;  // must be odd
+  EXPECT_FALSE(o.Validate().ok());
+  o.median_copies = 3;
+  EXPECT_TRUE(o.Validate().ok());
+  o = TrackerOptions{};
+  o.universe_bits = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = TrackerOptions{};
+  o.sample_boost = 0.0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(TrackerFactoryTest, AlgorithmNames) {
+  EXPECT_EQ(AlgorithmName(Algorithm::kDeterministic), "deterministic");
+  EXPECT_EQ(AlgorithmName(Algorithm::kRandomized), "randomized");
+  EXPECT_EQ(AlgorithmName(Algorithm::kSampling), "sampling");
+}
+
+TEST(TrackerFactoryTest, AllCountVariantsConstructAndTrack) {
+  for (auto algorithm : {Algorithm::kDeterministic, Algorithm::kRandomized,
+                         Algorithm::kSampling}) {
+    TrackerOptions o;
+    o.num_sites = 4;
+    o.epsilon = 0.1;
+    std::unique_ptr<sim::CountTrackerInterface> tracker;
+    ASSERT_TRUE(MakeCountTracker(algorithm, o, &tracker).ok());
+    for (int i = 0; i < 5000; ++i) tracker->Arrive(i % 4);
+    EXPECT_EQ(tracker->TrueCount(), 5000u);
+    EXPECT_NEAR(tracker->EstimateCount(), 5000.0, 0.15 * 5000)
+        << AlgorithmName(algorithm);
+    EXPECT_GT(tracker->meter().TotalMessages(), 0u);
+  }
+}
+
+TEST(TrackerFactoryTest, AllFrequencyVariantsConstructAndTrack) {
+  for (auto algorithm : {Algorithm::kDeterministic, Algorithm::kRandomized,
+                         Algorithm::kSampling}) {
+    TrackerOptions o;
+    o.num_sites = 4;
+    o.epsilon = 0.1;
+    std::unique_ptr<sim::FrequencyTrackerInterface> tracker;
+    ASSERT_TRUE(MakeFrequencyTracker(algorithm, o, &tracker).ok());
+    for (int i = 0; i < 9000; ++i) tracker->Arrive(i % 4, i % 3);
+    EXPECT_NEAR(tracker->EstimateFrequency(0), 3000.0, 0.15 * 9000)
+        << AlgorithmName(algorithm);
+  }
+}
+
+TEST(TrackerFactoryTest, AllRankVariantsConstructAndTrack) {
+  for (auto algorithm : {Algorithm::kDeterministic, Algorithm::kRandomized,
+                         Algorithm::kSampling}) {
+    TrackerOptions o;
+    o.num_sites = 4;
+    o.epsilon = 0.1;
+    o.universe_bits = 8;
+    std::unique_ptr<sim::RankTrackerInterface> tracker;
+    ASSERT_TRUE(MakeRankTracker(algorithm, o, &tracker).ok());
+    for (uint64_t i = 0; i < 8000; ++i) {
+      tracker->Arrive(static_cast<int>(i % 4), i % 256);
+    }
+    EXPECT_NEAR(tracker->EstimateRank(128), 4000.0, 0.15 * 8000)
+        << AlgorithmName(algorithm);
+  }
+}
+
+TEST(TrackerFactoryTest, RejectsInvalidOptions) {
+  TrackerOptions o;
+  o.epsilon = -1;
+  std::unique_ptr<sim::CountTrackerInterface> tracker;
+  EXPECT_FALSE(MakeCountTracker(Algorithm::kRandomized, o, &tracker).ok());
+  EXPECT_EQ(tracker, nullptr);
+}
+
+TEST(MedianBoosterTest, FactoryBuildsBoostedTracker) {
+  TrackerOptions o;
+  o.num_sites = 4;
+  o.epsilon = 0.1;
+  o.median_copies = 5;
+  std::unique_ptr<sim::CountTrackerInterface> tracker;
+  ASSERT_TRUE(MakeCountTracker(Algorithm::kRandomized, o, &tracker).ok());
+  auto* boosted = dynamic_cast<BoostedCountTracker*>(tracker.get());
+  ASSERT_NE(boosted, nullptr);
+  EXPECT_EQ(boosted->num_copies(), 5u);
+}
+
+TEST(MedianBoosterTest, CombinedMeterSumsCopies) {
+  TrackerOptions o;
+  o.num_sites = 4;
+  o.epsilon = 0.05;
+  std::unique_ptr<sim::CountTrackerInterface> single;
+  ASSERT_TRUE(MakeCountTracker(Algorithm::kRandomized, o, &single).ok());
+  o.median_copies = 3;
+  std::unique_ptr<sim::CountTrackerInterface> boosted;
+  ASSERT_TRUE(MakeCountTracker(Algorithm::kRandomized, o, &boosted).ok());
+  for (int i = 0; i < 20000; ++i) {
+    single->Arrive(i % 4);
+    boosted->Arrive(i % 4);
+  }
+  // Three copies cost roughly three times one copy.
+  double ratio = static_cast<double>(boosted->meter().TotalMessages()) /
+                 static_cast<double>(single->meter().TotalMessages());
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 4.5);
+}
+
+TEST(MedianBoosterTest, MedianImprovesWorstCaseCoverage) {
+  // Run single vs 5-copy boosted over trials; the boosted max |error| over
+  // checkpoints should rarely exceed εn, even where singles occasionally do.
+  const double eps = 0.03;
+  auto w = MakeCountWorkload(8, 60000, SiteSchedule::kUniformRandom, 3);
+  auto worst_error = [&](int copies, uint64_t seed) {
+    TrackerOptions o;
+    o.num_sites = 8;
+    o.epsilon = eps;
+    o.seed = seed;
+    o.median_copies = copies;
+    std::unique_ptr<sim::CountTrackerInterface> tracker;
+    EXPECT_TRUE(MakeCountTracker(Algorithm::kRandomized, o, &tracker).ok());
+    auto checkpoints = sim::ReplayCount(tracker.get(), w, 1.3);
+    return testing_util::MaxRelativeCheckpointError(checkpoints, 2000);
+  };
+  int single_misses = 0, boosted_misses = 0;
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    if (worst_error(1, seed) > eps) ++single_misses;
+    if (worst_error(5, seed) > eps) ++boosted_misses;
+  }
+  EXPECT_LE(boosted_misses, single_misses);
+  EXPECT_LE(boosted_misses, 2);
+}
+
+TEST(MedianBoosterTest, FrequencyAndRankBoostersAnswerMedians) {
+  TrackerOptions o;
+  o.num_sites = 4;
+  o.epsilon = 0.1;
+  o.median_copies = 3;
+  std::unique_ptr<sim::FrequencyTrackerInterface> freq;
+  ASSERT_TRUE(MakeFrequencyTracker(Algorithm::kRandomized, o, &freq).ok());
+  std::unique_ptr<sim::RankTrackerInterface> rank;
+  ASSERT_TRUE(MakeRankTracker(Algorithm::kRandomized, o, &rank).ok());
+  for (uint64_t i = 0; i < 20000; ++i) {
+    freq->Arrive(static_cast<int>(i % 4), i % 5);
+    rank->Arrive(static_cast<int>(i % 4), i % 1000);
+  }
+  EXPECT_NEAR(freq->EstimateFrequency(2), 4000.0, 0.1 * 20000);
+  EXPECT_NEAR(rank->EstimateRank(500), 10000.0, 0.1 * 20000);
+  EXPECT_EQ(freq->TrueCount(), 20000u);
+  EXPECT_EQ(rank->TrueCount(), 20000u);
+}
+
+TEST(MedianBoosterTest, SpaceSumsAcrossCopies) {
+  TrackerOptions o;
+  o.num_sites = 4;
+  o.epsilon = 0.05;
+  o.median_copies = 3;
+  std::unique_ptr<sim::CountTrackerInterface> tracker;
+  ASSERT_TRUE(MakeCountTracker(Algorithm::kRandomized, o, &tracker).ok());
+  for (int i = 0; i < 10000; ++i) tracker->Arrive(i % 4);
+  // Three O(1) copies: still O(1), roughly 3x a single copy's 4 words.
+  EXPECT_GE(tracker->space().MaxPeak(), 8u);
+  EXPECT_LE(tracker->space().MaxPeak(), 24u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace disttrack

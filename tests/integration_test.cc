@@ -1,0 +1,290 @@
+// Cross-module integration sweeps: every (algorithm × problem) combination
+// replayed over parameter grids of (k, ε, schedule), asserting the accuracy
+// contract and Table 1's qualitative space/communication profile. These are
+// the library's property tests, instantiated through parameterized gtest.
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "disttrack/core/tracking.h"
+#include "disttrack/stream/hard_instances.h"
+#include "disttrack/stream/workload.h"
+#include "test_util.h"
+
+namespace disttrack {
+namespace {
+
+using core::Algorithm;
+using core::AlgorithmName;
+using core::TrackerOptions;
+using stream::SiteSchedule;
+
+struct GridParam {
+  Algorithm algorithm;
+  int k;
+  double eps;
+  SiteSchedule schedule;
+};
+
+std::string GridName(const ::testing::TestParamInfo<GridParam>& info) {
+  const auto& p = info.param;
+  std::string schedule;
+  switch (p.schedule) {
+    case SiteSchedule::kRoundRobin:
+      schedule = "robin";
+      break;
+    case SiteSchedule::kUniformRandom:
+      schedule = "uniform";
+      break;
+    case SiteSchedule::kSingleSite:
+      schedule = "single";
+      break;
+    case SiteSchedule::kSkewedGeometric:
+      schedule = "skewed";
+      break;
+    case SiteSchedule::kBursty:
+      schedule = "bursty";
+      break;
+  }
+  return AlgorithmName(p.algorithm) + "_k" + std::to_string(p.k) + "_eps" +
+         std::to_string(static_cast<int>(p.eps * 1000)) + "_" + schedule;
+}
+
+class CountGridTest : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(CountGridTest, TracksWithinToleranceAtCheckpoints) {
+  const auto& p = GetParam();
+  TrackerOptions o;
+  o.num_sites = p.k;
+  o.epsilon = p.eps;
+  o.seed = 4242;
+  std::unique_ptr<sim::CountTrackerInterface> tracker;
+  ASSERT_TRUE(core::MakeCountTracker(p.algorithm, o, &tracker).ok());
+  auto w = stream::MakeCountWorkload(p.k, 60000, p.schedule, 99);
+  auto checkpoints = sim::ReplayCount(tracker.get(), w, 1.5);
+  int misses = 0, counted = 0;
+  for (const auto& c : checkpoints) {
+    if (c.n < 2000) continue;
+    ++counted;
+    if (std::fabs(c.estimate - c.truth) > p.eps * static_cast<double>(c.n)) {
+      ++misses;
+    }
+  }
+  ASSERT_GT(counted, 3);
+  // Deterministic: zero misses. Randomized/sampling: allow Chebyshev tail.
+  if (p.algorithm == Algorithm::kDeterministic) {
+    EXPECT_EQ(misses, 0);
+  } else {
+    EXPECT_LE(misses, (counted + 3) / 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CountGridTest,
+    ::testing::Values(
+        GridParam{Algorithm::kDeterministic, 4, 0.05,
+                  SiteSchedule::kRoundRobin},
+        GridParam{Algorithm::kDeterministic, 16, 0.02,
+                  SiteSchedule::kUniformRandom},
+        GridParam{Algorithm::kDeterministic, 64, 0.05,
+                  SiteSchedule::kSingleSite},
+        GridParam{Algorithm::kRandomized, 4, 0.05,
+                  SiteSchedule::kRoundRobin},
+        GridParam{Algorithm::kRandomized, 16, 0.02,
+                  SiteSchedule::kUniformRandom},
+        GridParam{Algorithm::kRandomized, 16, 0.05,
+                  SiteSchedule::kSingleSite},
+        GridParam{Algorithm::kRandomized, 64, 0.05,
+                  SiteSchedule::kSkewedGeometric},
+        GridParam{Algorithm::kRandomized, 16, 0.05, SiteSchedule::kBursty},
+        GridParam{Algorithm::kSampling, 4, 0.05, SiteSchedule::kRoundRobin},
+        GridParam{Algorithm::kSampling, 16, 0.05,
+                  SiteSchedule::kUniformRandom},
+        GridParam{Algorithm::kSampling, 16, 0.05, SiteSchedule::kSingleSite}),
+    GridName);
+
+class FrequencyGridTest : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(FrequencyGridTest, TracksHeavyItemWithinTolerance) {
+  const auto& p = GetParam();
+  TrackerOptions o;
+  o.num_sites = p.k;
+  o.epsilon = p.eps;
+  o.seed = 777;
+  std::unique_ptr<sim::FrequencyTrackerInterface> tracker;
+  ASSERT_TRUE(core::MakeFrequencyTracker(p.algorithm, o, &tracker).ok());
+  auto w = stream::MakeFrequencyWorkload(p.k, 60000, p.schedule, 1000, 1.2,
+                                         101);
+  auto checkpoints = sim::ReplayFrequency(tracker.get(), w, 0, 1.5);
+  int misses = 0, counted = 0;
+  for (const auto& c : checkpoints) {
+    if (c.n < 2000) continue;
+    ++counted;
+    if (std::fabs(c.estimate - c.truth) > p.eps * static_cast<double>(c.n)) {
+      ++misses;
+    }
+  }
+  ASSERT_GT(counted, 3);
+  if (p.algorithm == Algorithm::kDeterministic) {
+    EXPECT_EQ(misses, 0);
+  } else {
+    EXPECT_LE(misses, (counted + 3) / 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FrequencyGridTest,
+    ::testing::Values(
+        GridParam{Algorithm::kDeterministic, 4, 0.05,
+                  SiteSchedule::kRoundRobin},
+        GridParam{Algorithm::kDeterministic, 16, 0.05,
+                  SiteSchedule::kSingleSite},
+        GridParam{Algorithm::kRandomized, 4, 0.05,
+                  SiteSchedule::kRoundRobin},
+        GridParam{Algorithm::kRandomized, 16, 0.05,
+                  SiteSchedule::kUniformRandom},
+        GridParam{Algorithm::kRandomized, 16, 0.05,
+                  SiteSchedule::kSingleSite},
+        GridParam{Algorithm::kRandomized, 64, 0.08, SiteSchedule::kBursty},
+        GridParam{Algorithm::kSampling, 4, 0.05,
+                  SiteSchedule::kUniformRandom},
+        GridParam{Algorithm::kSampling, 16, 0.05,
+                  SiteSchedule::kRoundRobin}),
+    GridName);
+
+class RankGridTest : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(RankGridTest, TracksMedianRankWithinTolerance) {
+  const auto& p = GetParam();
+  TrackerOptions o;
+  o.num_sites = p.k;
+  o.epsilon = p.eps;
+  o.seed = 888;
+  o.universe_bits = 10;
+  std::unique_ptr<sim::RankTrackerInterface> tracker;
+  ASSERT_TRUE(core::MakeRankTracker(p.algorithm, o, &tracker).ok());
+  auto w = stream::MakeRankWorkload(p.k, 50000, p.schedule,
+                                    stream::ValueOrder::kUniformRandom, 10,
+                                    103);
+  auto checkpoints = sim::ReplayRank(tracker.get(), w, 512, 1.5);
+  int misses = 0, counted = 0;
+  for (const auto& c : checkpoints) {
+    if (c.n < 2000) continue;
+    ++counted;
+    if (std::fabs(c.estimate - c.truth) > p.eps * static_cast<double>(c.n)) {
+      ++misses;
+    }
+  }
+  ASSERT_GT(counted, 3);
+  if (p.algorithm == Algorithm::kDeterministic) {
+    EXPECT_EQ(misses, 0);
+  } else {
+    EXPECT_LE(misses, (counted + 3) / 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RankGridTest,
+    ::testing::Values(
+        GridParam{Algorithm::kDeterministic, 4, 0.1,
+                  SiteSchedule::kRoundRobin},
+        GridParam{Algorithm::kDeterministic, 16, 0.1,
+                  SiteSchedule::kSingleSite},
+        GridParam{Algorithm::kRandomized, 4, 0.05,
+                  SiteSchedule::kRoundRobin},
+        GridParam{Algorithm::kRandomized, 16, 0.05,
+                  SiteSchedule::kUniformRandom},
+        GridParam{Algorithm::kRandomized, 16, 0.05,
+                  SiteSchedule::kSingleSite},
+        GridParam{Algorithm::kRandomized, 64, 0.08,
+                  SiteSchedule::kSkewedGeometric},
+        GridParam{Algorithm::kSampling, 4, 0.05,
+                  SiteSchedule::kUniformRandom},
+        GridParam{Algorithm::kSampling, 16, 0.05,
+                  SiteSchedule::kRoundRobin}),
+    GridName);
+
+// The Theorem 2.2 hard distribution µ: trackers must stay accurate under
+// both branches (all-at-one-random-site and round-robin).
+TEST(HardDistributionIntegrationTest, CountTrackersSurviveMu) {
+  for (auto algorithm : {Algorithm::kDeterministic, Algorithm::kRandomized}) {
+    for (uint64_t seed = 0; seed < 6; ++seed) {
+      auto mu = stream::MakeMuInstance(16, 40000, seed);
+      TrackerOptions o;
+      o.num_sites = 16;
+      o.epsilon = 0.05;
+      o.seed = seed + 5;
+      std::unique_ptr<sim::CountTrackerInterface> tracker;
+      ASSERT_TRUE(core::MakeCountTracker(algorithm, o, &tracker).ok());
+      auto checkpoints = sim::ReplayCount(tracker.get(), mu.workload, 1.5);
+      int misses = 0, counted = 0;
+      for (const auto& c : checkpoints) {
+        if (c.n < 2000) continue;
+        ++counted;
+        if (std::fabs(c.estimate - c.truth) >
+            0.05 * static_cast<double>(c.n)) {
+          ++misses;
+        }
+      }
+      ASSERT_GT(counted, 3);
+      EXPECT_LE(misses, (counted + 3) / 4)
+          << AlgorithmName(algorithm) << " seed " << seed
+          << (mu.single_site_case ? " single" : " robin");
+    }
+  }
+}
+
+// Theorem 2.4's adversarial schedule embeds 1-bit instances; the randomized
+// tracker must remain accurate on it (the theorem lower-bounds cost, not
+// accuracy — accuracy is the obligation the adversary exploits).
+TEST(HardDistributionIntegrationTest, RandomizedCountSurvivesTheorem24) {
+  auto hard = stream::MakeTheorem24Workload(16, 0.05, 11, 3);
+  TrackerOptions o;
+  o.num_sites = 16;
+  o.epsilon = 0.1;
+  o.seed = 21;
+  std::unique_ptr<sim::CountTrackerInterface> tracker;
+  ASSERT_TRUE(
+      core::MakeCountTracker(Algorithm::kRandomized, o, &tracker).ok());
+  auto checkpoints = sim::ReplayCount(tracker.get(), hard.workload, 1.4);
+  int misses = 0, counted = 0;
+  for (const auto& c : checkpoints) {
+    if (c.n < 500) continue;
+    ++counted;
+    if (std::fabs(c.estimate - c.truth) > 0.1 * static_cast<double>(c.n)) {
+      ++misses;
+    }
+  }
+  ASSERT_GT(counted, 3);
+  EXPECT_LE(misses, (counted + 3) / 4);
+}
+
+// Table 1 communication ordering at k >> 1/ε²-free regime: randomized <
+// deterministic for count at large k, and sampling ~ independent of k.
+TEST(Table1IntegrationTest, CommunicationOrderingAtLargeK) {
+  const int k = 256;
+  const double eps = 0.05;
+  auto w = stream::MakeCountWorkload(k, 1 << 19,
+                                     SiteSchedule::kUniformRandom, 7);
+  uint64_t messages[3] = {0, 0, 0};
+  int idx = 0;
+  for (auto algorithm : {Algorithm::kDeterministic, Algorithm::kRandomized,
+                         Algorithm::kSampling}) {
+    TrackerOptions o;
+    o.num_sites = k;
+    o.epsilon = eps;
+    o.seed = 3;
+    std::unique_ptr<sim::CountTrackerInterface> tracker;
+    ASSERT_TRUE(core::MakeCountTracker(algorithm, o, &tracker).ok());
+    for (const auto& a : w) tracker->Arrive(a.site);
+    messages[idx++] = tracker->meter().TotalMessages();
+  }
+  EXPECT_GT(messages[0], messages[1]);  // deterministic > randomized
+}
+
+}  // namespace
+}  // namespace disttrack

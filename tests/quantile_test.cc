@@ -1,0 +1,128 @@
+// Tests for the quantile-from-rank layer (core/quantile.h): the §1.3
+// binary-search reduction over every rank tracker.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "disttrack/core/quantile.h"
+#include "disttrack/core/tracking.h"
+#include "disttrack/stream/workload.h"
+
+namespace disttrack {
+namespace core {
+namespace {
+
+using stream::MakeRankWorkload;
+using stream::SiteSchedule;
+using stream::ValueOrder;
+
+uint64_t ExactQuantile(std::vector<uint64_t> values, double phi) {
+  size_t idx = static_cast<size_t>(phi * static_cast<double>(values.size()));
+  idx = std::min(idx, values.size() - 1);
+  std::nth_element(values.begin(), values.begin() + static_cast<long>(idx),
+                   values.end());
+  return values[idx];
+}
+
+class QuantileTrackerTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(QuantileTrackerTest, QuantilesWithinEpsilonInRank) {
+  const double eps = 0.05;
+  const int kUniverseBits = 12;
+  TrackerOptions o;
+  o.num_sites = 8;
+  o.epsilon = eps;
+  o.seed = 5;
+  o.universe_bits = kUniverseBits;
+  std::unique_ptr<sim::RankTrackerInterface> tracker;
+  ASSERT_TRUE(MakeRankTracker(GetParam(), o, &tracker).ok());
+
+  auto w = MakeRankWorkload(8, 40000, SiteSchedule::kUniformRandom,
+                            ValueOrder::kUniformRandom, kUniverseBits, 7);
+  std::vector<uint64_t> values;
+  for (const auto& a : w) {
+    tracker->Arrive(a.site, a.key);
+    values.push_back(a.key);
+  }
+  std::vector<uint64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+
+  for (double phi : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    uint64_t answer =
+        QuantileFromRank(*tracker, phi, 1ull << kUniverseBits);
+    // Judge the answer by its exact rank: it must land within ~2 eps n of
+    // phi n (eps from the tracker plus search slack on a discrete domain).
+    double rank = static_cast<double>(
+        std::lower_bound(sorted.begin(), sorted.end(), answer) -
+        sorted.begin());
+    EXPECT_NEAR(rank, phi * static_cast<double>(values.size()),
+                2.5 * eps * static_cast<double>(values.size()) + 16)
+        << "phi " << phi << " algo " << AlgorithmName(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, QuantileTrackerTest,
+                         ::testing::Values(Algorithm::kDeterministic,
+                                           Algorithm::kRandomized,
+                                           Algorithm::kSampling),
+                         [](const ::testing::TestParamInfo<Algorithm>& i) {
+                           return AlgorithmName(i.param);
+                         });
+
+TEST(QuantileHelperTest, QuantilesFromRankBatch) {
+  TrackerOptions o;
+  o.num_sites = 4;
+  o.epsilon = 0.1;
+  o.seed = 3;
+  std::unique_ptr<sim::RankTrackerInterface> tracker;
+  ASSERT_TRUE(MakeRankTracker(Algorithm::kRandomized, o, &tracker).ok());
+  for (uint64_t i = 0; i < 10000; ++i) {
+    tracker->Arrive(static_cast<int>(i % 4), i % 1000);
+  }
+  auto answers =
+      QuantilesFromRank(*tracker, {0.25, 0.5, 0.75}, 1024);
+  ASSERT_EQ(answers.size(), 3u);
+  EXPECT_LE(answers[0], answers[1]);
+  EXPECT_LE(answers[1], answers[2]);
+  EXPECT_NEAR(static_cast<double>(answers[1]), 500.0, 150.0);
+}
+
+TEST(QuantileHelperTest, ExtremesAndDegenerates) {
+  TrackerOptions o;
+  o.num_sites = 2;
+  o.epsilon = 0.1;
+  std::unique_ptr<sim::RankTrackerInterface> tracker;
+  ASSERT_TRUE(MakeRankTracker(Algorithm::kDeterministic, o, &tracker).ok());
+  for (int i = 0; i < 1000; ++i) tracker->Arrive(i % 2, 100);
+  // All mass at value 100: every quantile is 100.
+  EXPECT_EQ(QuantileFromRank(*tracker, 0.5, 4096), 100u);
+  EXPECT_EQ(QuantileFromRank(*tracker, 0.99, 4096), 100u);
+  // Clamping and zero-universe safety.
+  EXPECT_EQ(QuantileFromRank(*tracker, -1.0, 4096), 0u);
+  EXPECT_EQ(QuantileFromRank(*tracker, 2.0, 4096), 100u);
+  EXPECT_EQ(QuantileFromRank(*tracker, 0.5, 0), 0u);
+}
+
+TEST(QuantileHelperTest, FrequencyFromRankReduction) {
+  // §1.3: rank structures answer frequencies via rank(x+1) - rank(x).
+  TrackerOptions o;
+  o.num_sites = 4;
+  o.epsilon = 0.05;
+  o.seed = 11;
+  std::unique_ptr<sim::RankTrackerInterface> tracker;
+  ASSERT_TRUE(MakeRankTracker(Algorithm::kRandomized, o, &tracker).ok());
+  // 40% of mass at value 7.
+  for (uint64_t i = 0; i < 30000; ++i) {
+    uint64_t v = (i % 10) < 4 ? 7 : 100 + (i % 50);
+    tracker->Arrive(static_cast<int>(i % 4), v);
+  }
+  EXPECT_NEAR(FrequencyFromRank(*tracker, 7), 12000.0, 2 * 0.05 * 30000);
+  EXPECT_NEAR(FrequencyFromRank(*tracker, 8), 0.0, 2 * 0.05 * 30000);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace disttrack

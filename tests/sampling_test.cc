@@ -1,0 +1,172 @@
+// Tests for the continuous distributed sampling baseline [9]: sample-size
+// maintenance, unbiased count/frequency/rank estimates, O(1) site space,
+// and the O(1/ε² · logN) communication profile.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "disttrack/sampling/distributed_sampler.h"
+#include "disttrack/stream/workload.h"
+#include "test_util.h"
+
+namespace disttrack {
+namespace sampling {
+namespace {
+
+using stream::MakeCountWorkload;
+using stream::SiteSchedule;
+
+DistributedSamplerOptions BaseOptions(double eps = 0.05, int k = 8,
+                                      uint64_t seed = 1) {
+  DistributedSamplerOptions o;
+  o.num_sites = k;
+  o.epsilon = eps;
+  o.seed = seed;
+  return o;
+}
+
+TEST(DistributedSamplerTest, OptionsValidate) {
+  auto o = BaseOptions();
+  EXPECT_TRUE(o.Validate().ok());
+  o.epsilon = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = BaseOptions();
+  o.sample_boost = 0.5;
+  EXPECT_FALSE(o.Validate().ok());
+  o = BaseOptions();
+  o.num_sites = 0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(DistributedSamplerTest, LevelZeroKeepsEverythingSmall) {
+  DistributedSampler sampler(BaseOptions(0.1));
+  for (int i = 0; i < 50; ++i) sampler.Arrive(i % 8, static_cast<uint64_t>(i));
+  EXPECT_EQ(sampler.level(), 0);
+  EXPECT_EQ(sampler.SampleSize(), 50u);
+  EXPECT_DOUBLE_EQ(sampler.EstimateCount(), 50.0);
+}
+
+TEST(DistributedSamplerTest, SampleSizeStaysBounded) {
+  DistributedSampler sampler(BaseOptions(0.1));
+  for (uint64_t i = 0; i < 300000; ++i) {
+    sampler.Arrive(static_cast<int>(i % 8), i);
+    ASSERT_LE(sampler.SampleSize(), 2 * sampler.capacity());
+  }
+  EXPECT_GT(sampler.level(), 0);
+}
+
+TEST(DistributedSamplerTest, CountIsUnbiased) {
+  const uint64_t kN = 50000;
+  auto errors = testing_util::CollectErrors(300, [&](uint64_t seed) {
+    DistributedSampler sampler(BaseOptions(0.05, 8, seed));
+    for (uint64_t i = 0; i < kN; ++i) {
+      sampler.Arrive(static_cast<int>(i % 8), i);
+    }
+    return sampler.EstimateCount() - static_cast<double>(kN);
+  });
+  // std ~ eps*n/2 = 1250; mean over 300 trials ~ 72.
+  EXPECT_NEAR(testing_util::MeanOf(errors), 0.0, 250.0);
+}
+
+TEST(DistributedSamplerTest, CountCoverage) {
+  const uint64_t kN = 50000;
+  const double eps = 0.05;
+  auto errors = testing_util::CollectErrors(300, [&](uint64_t seed) {
+    DistributedSampler sampler(BaseOptions(eps, 8, seed));
+    for (uint64_t i = 0; i < kN; ++i) {
+      sampler.Arrive(static_cast<int>(i % 8), i);
+    }
+    return sampler.EstimateCount() - static_cast<double>(kN);
+  });
+  EXPECT_GE(CoverageWithin(errors, eps * static_cast<double>(kN)), 0.9);
+}
+
+TEST(DistributedSamplerTest, FrequencyCoverage) {
+  const uint64_t kN = 40000;
+  const double eps = 0.05;
+  // Item 7 occupies 30% of the stream.
+  auto errors = testing_util::CollectErrors(250, [&](uint64_t seed) {
+    DistributedSampler sampler(BaseOptions(eps, 4, seed));
+    for (uint64_t i = 0; i < kN; ++i) {
+      uint64_t item = (i % 10) < 3 ? 7 : 100 + (i % 50);
+      sampler.Arrive(static_cast<int>(i % 4), item);
+    }
+    return sampler.EstimateFrequency(7) - 0.3 * static_cast<double>(kN);
+  });
+  EXPECT_GE(CoverageWithin(errors, eps * static_cast<double>(kN)), 0.9);
+  EXPECT_NEAR(testing_util::MeanOf(errors), 0.0, 300.0);
+}
+
+TEST(DistributedSamplerTest, RankCoverage) {
+  const uint64_t kN = 40000;
+  const double eps = 0.05;
+  auto errors = testing_util::CollectErrors(250, [&](uint64_t seed) {
+    DistributedSampler sampler(BaseOptions(eps, 4, seed));
+    Rng vals(seed ^ 0xF00D);
+    uint64_t rank = 0;
+    const uint64_t x = 1 << 15;
+    for (uint64_t i = 0; i < kN; ++i) {
+      uint64_t v = vals.UniformU64(1 << 16);
+      if (v < x) ++rank;
+      sampler.Arrive(static_cast<int>(i % 4), v);
+    }
+    return sampler.EstimateRank(x) - static_cast<double>(rank);
+  });
+  EXPECT_GE(CoverageWithin(errors, eps * static_cast<double>(kN)), 0.9);
+}
+
+TEST(DistributedSamplerTest, SiteSpaceIsConstant) {
+  DistributedSampler sampler(BaseOptions(0.02));
+  for (uint64_t i = 0; i < 200000; ++i) {
+    sampler.Arrive(static_cast<int>(i % 8), i);
+  }
+  EXPECT_LE(sampler.space().MaxPeak(), 4u);
+}
+
+TEST(DistributedSamplerTest, CommunicationIndependentOfK) {
+  // Table 1: sampling costs O(1/ε² logN) — k only enters via broadcasts.
+  auto run = [](int k) {
+    DistributedSampler sampler(BaseOptions(0.05, k, 3));
+    for (uint64_t i = 0; i < 200000; ++i) {
+      sampler.Arrive(static_cast<int>(i % static_cast<uint64_t>(k)), i);
+    }
+    return static_cast<double>(sampler.meter().uploads().messages);
+  };
+  double k4 = run(4);
+  double k64 = run(64);
+  EXPECT_NEAR(k64 / k4, 1.0, 0.15);  // uploads barely move with k
+}
+
+TEST(DistributedSamplerTest, CommunicationScalesWithInverseEpsSquared) {
+  auto run = [](double eps) {
+    DistributedSampler sampler(BaseOptions(eps, 8, 3));
+    for (uint64_t i = 0; i < 400000; ++i) {
+      sampler.Arrive(static_cast<int>(i % 8), i);
+    }
+    return static_cast<double>(sampler.meter().uploads().messages);
+  };
+  double coarse = run(0.1);
+  double fine = run(0.05);  // 4x the sample size
+  EXPECT_GT(fine / coarse, 2.0);
+  EXPECT_LT(fine / coarse, 6.0);
+}
+
+TEST(SamplingAdaptersTest, InterfacesDelegate) {
+  SamplingCountTracker count(BaseOptions());
+  SamplingFrequencyTracker freq(BaseOptions());
+  SamplingRankTracker rank(BaseOptions());
+  for (uint64_t i = 0; i < 100; ++i) {
+    count.Arrive(static_cast<int>(i % 8));
+    freq.Arrive(static_cast<int>(i % 8), i % 5);
+    rank.Arrive(static_cast<int>(i % 8), i);
+  }
+  EXPECT_EQ(count.TrueCount(), 100u);
+  EXPECT_DOUBLE_EQ(count.EstimateCount(), 100.0);  // level still 0
+  EXPECT_DOUBLE_EQ(freq.EstimateFrequency(0), 20.0);
+  EXPECT_DOUBLE_EQ(rank.EstimateRank(50), 50.0);
+}
+
+}  // namespace
+}  // namespace sampling
+}  // namespace disttrack

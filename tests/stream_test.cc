@@ -1,0 +1,208 @@
+// Tests for disttrack/stream: site schedules, Zipf items, planted
+// frequencies, rank value orders, and the lower-bound hard instances.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "disttrack/stream/hard_instances.h"
+#include "disttrack/stream/workload.h"
+#include "disttrack/stream/zipf.h"
+
+namespace disttrack {
+namespace stream {
+namespace {
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfGenerator zipf(100, 1.1, 5);
+  double total = 0;
+  for (uint64_t i = 0; i < 100; ++i) total += zipf.Probability(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, HeadIsHeavier) {
+  ZipfGenerator zipf(1000, 1.2, 5);
+  EXPECT_GT(zipf.Probability(0), zipf.Probability(1));
+  EXPECT_GT(zipf.Probability(1), zipf.Probability(100));
+}
+
+TEST(ZipfTest, EmpiricalMatchesAnalytic) {
+  ZipfGenerator zipf(50, 1.0, 7);
+  const int kDraws = 200000;
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Next()];
+  for (uint64_t j : {0ull, 1ull, 5ull}) {
+    double expected = zipf.Probability(j) * kDraws;
+    EXPECT_NEAR(counts[j], expected, expected * 0.1 + 30);
+  }
+}
+
+TEST(ZipfTest, AlphaZeroIsUniform) {
+  ZipfGenerator zipf(10, 0.0, 9);
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(zipf.Probability(i), 0.1, 1e-9);
+  }
+}
+
+TEST(WorkloadTest, RoundRobinCycles) {
+  auto w = MakeCountWorkload(4, 12, SiteSchedule::kRoundRobin, 1);
+  ASSERT_EQ(w.size(), 12u);
+  for (size_t t = 0; t < w.size(); ++t) {
+    EXPECT_EQ(w[t].site, static_cast<int>(t % 4));
+  }
+}
+
+TEST(WorkloadTest, SingleSiteAllAtZero) {
+  auto w = MakeCountWorkload(8, 50, SiteSchedule::kSingleSite, 1);
+  for (const auto& a : w) EXPECT_EQ(a.site, 0);
+}
+
+TEST(WorkloadTest, UniformRandomSpreadsAcrossSites) {
+  auto w = MakeCountWorkload(4, 4000, SiteSchedule::kUniformRandom, 3);
+  std::vector<int> per_site(4, 0);
+  for (const auto& a : w) ++per_site[a.site];
+  for (int c : per_site) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(WorkloadTest, SkewedGeometricFavorsSiteZero) {
+  auto w = MakeCountWorkload(8, 8000, SiteSchedule::kSkewedGeometric, 3);
+  std::vector<int> per_site(8, 0);
+  for (const auto& a : w) ++per_site[a.site];
+  EXPECT_NEAR(per_site[0], 4000, 400);
+  EXPECT_GT(per_site[0], per_site[1]);
+  EXPECT_GT(per_site[1], per_site[2]);
+}
+
+TEST(WorkloadTest, BurstyIsContiguous) {
+  auto w = MakeCountWorkload(4, 400, SiteSchedule::kBursty, 3);
+  for (size_t t = 1; t < w.size(); ++t) {
+    EXPECT_GE(w[t].site, w[t - 1].site);
+  }
+  EXPECT_EQ(w.front().site, 0);
+  EXPECT_EQ(w.back().site, 3);
+}
+
+TEST(WorkloadTest, PlantedFrequenciesAreExact) {
+  std::vector<uint64_t> counts{100, 50, 0, 25};
+  auto w = MakePlantedFrequencyWorkload(4, counts,
+                                        SiteSchedule::kUniformRandom, 11);
+  EXPECT_EQ(w.size(), 175u);
+  EXPECT_EQ(ExactFrequency(w, 0), 100u);
+  EXPECT_EQ(ExactFrequency(w, 1), 50u);
+  EXPECT_EQ(ExactFrequency(w, 2), 0u);
+  EXPECT_EQ(ExactFrequency(w, 3), 25u);
+}
+
+TEST(WorkloadTest, RankWorkloadStaysInUniverse) {
+  auto w = MakeRankWorkload(4, 1000, SiteSchedule::kUniformRandom,
+                            ValueOrder::kUniformRandom, 10, 13);
+  for (const auto& a : w) EXPECT_LT(a.key, 1u << 10);
+}
+
+TEST(WorkloadTest, AscendingValuesSorted) {
+  auto w = MakeRankWorkload(2, 500, SiteSchedule::kRoundRobin,
+                            ValueOrder::kAscending, 16, 13);
+  for (size_t t = 1; t < w.size(); ++t) {
+    EXPECT_GE(w[t].key, w[t - 1].key);
+  }
+}
+
+TEST(WorkloadTest, DescendingValuesSorted) {
+  auto w = MakeRankWorkload(2, 500, SiteSchedule::kRoundRobin,
+                            ValueOrder::kDescending, 16, 13);
+  for (size_t t = 1; t < w.size(); ++t) {
+    EXPECT_LE(w[t].key, w[t - 1].key);
+  }
+}
+
+TEST(WorkloadTest, ExactRankCountsStrictlySmaller) {
+  sim::Workload w{{0, 5}, {0, 3}, {0, 5}, {0, 7}};
+  EXPECT_EQ(ExactRank(w, 5), 1u);
+  EXPECT_EQ(ExactRank(w, 6), 3u);
+  EXPECT_EQ(ExactRank(w, 100), 4u);
+  EXPECT_EQ(ExactRank(w, 0), 0u);
+}
+
+TEST(HardInstancesTest, MuCaseShapes) {
+  int single = 0, robin = 0;
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    auto mu = MakeMuInstance(4, 100, seed);
+    EXPECT_EQ(mu.workload.size(), 100u);
+    if (mu.single_site_case) {
+      ++single;
+      ASSERT_GE(mu.chosen_site, 0);
+      ASSERT_LT(mu.chosen_site, 4);
+      for (const auto& a : mu.workload) EXPECT_EQ(a.site, mu.chosen_site);
+    } else {
+      ++robin;
+      EXPECT_EQ(mu.chosen_site, -1);
+      for (size_t t = 0; t < mu.workload.size(); ++t) {
+        EXPECT_EQ(mu.workload[t].site, static_cast<int>(t % 4));
+      }
+    }
+  }
+  // Both cases occur with probability 1/2 each.
+  EXPECT_GT(single, 8);
+  EXPECT_GT(robin, 8);
+}
+
+TEST(HardInstancesTest, OneBitInstanceHasExactlySOnes) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    auto inst = MakeOneBitInstance(100, seed);
+    uint64_t ones = 0;
+    for (uint8_t b : inst.bits) ones += b;
+    EXPECT_EQ(ones, inst.s);
+    EXPECT_TRUE(inst.s == 60 || inst.s == 40);  // k/2 ± √k for k = 100
+    EXPECT_EQ(inst.s_is_high, inst.s == 60);
+  }
+}
+
+TEST(HardInstancesTest, Theorem24WorkloadStructure) {
+  auto hard = MakeTheorem24Workload(16, 0.05, 3, 7);
+  // r = 1/(2·0.05·4) = 2.5 -> 2 subrounds per round.
+  EXPECT_EQ(hard.subrounds_per_round, 2u);
+  EXPECT_EQ(hard.rounds, 3u);
+  EXPECT_EQ(hard.subround_s_high.size(), 6u);
+  EXPECT_FALSE(hard.workload.empty());
+  // Round i delivers 2^i elements per chosen site: total elements grow.
+  for (const auto& a : hard.workload) {
+    EXPECT_GE(a.site, 0);
+    EXPECT_LT(a.site, 16);
+  }
+}
+
+TEST(HardInstancesTest, ProbingAllSitesAlwaysSucceeds) {
+  Rng rng(3);
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    auto inst = MakeOneBitInstance(64, seed);
+    EXPECT_TRUE(ProbeAndGuessOneBit(inst, 64, &rng));
+  }
+}
+
+TEST(HardInstancesTest, FewProbesAreNearChance) {
+  // With z = 4 probes out of k = 400 the two distributions are nearly
+  // indistinguishable (Figure 1): success should be well below 0.8.
+  double rate = OneBitSuccessRate(400, 4, 2000, 5);
+  EXPECT_LT(rate, 0.65);
+  EXPECT_GT(rate, 0.35);
+}
+
+TEST(HardInstancesTest, ManyProbesSeparate) {
+  // Probing nearly all sites distinguishes s reliably (Claim A.1: z = Ω(k)).
+  double rate = OneBitSuccessRate(400, 390, 1000, 5);
+  EXPECT_GT(rate, 0.9);
+}
+
+TEST(HardInstancesTest, SuccessRateMonotoneInZ) {
+  double lo = OneBitSuccessRate(256, 8, 1500, 9);
+  double mid = OneBitSuccessRate(256, 64, 1500, 9);
+  double hi = OneBitSuccessRate(256, 250, 1500, 9);
+  EXPECT_LT(lo, mid + 0.05);
+  EXPECT_LT(mid, hi + 0.05);
+  EXPECT_GT(hi, 0.85);
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace disttrack
