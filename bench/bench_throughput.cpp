@@ -1,0 +1,340 @@
+// Throughput baseline for the three randomized trackers: elements/sec over
+// uniform and skewed workloads at k in {8, 64}, plus an in-binary A/B of
+// the geometric-skip fast path against the historical per-arrival
+// Bernoulli path on the count tracker (n = 1e7, eps = 0.01).
+//
+// Writes BENCH_throughput.json (machine-readable trajectory for later PRs)
+// and prints a human table.
+//
+// The count A/B replays the identical site stream through both engines:
+//  * per_arrival — a faithful copy of the pre-fast-path ReplayImpl loop
+//    (one virtual Arrive() per element, per-element checkpoint
+//    arithmetic) driving the tracker with use_skip_sampling=false, i.e.
+//    one Bernoulli RNG draw per arrival;
+//  * skip_batched — the library's ReplayCountSites (batch delivery between
+//    checkpoints into the skip-sampling event-countdown engine).
+// Both produce the same checkpoint schedule and ±eps-accurate estimates,
+// so the ratio isolates the delivery + sampling engine.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "disttrack/core/tracking.h"
+#include "disttrack/sim/cluster.h"
+#include "disttrack/stream/workload.h"
+
+namespace {
+
+using namespace disttrack;
+
+struct BenchEntry {
+  std::string problem;   // count | frequency | rank
+  std::string path;      // skip_batched | per_arrival
+  std::string workload;  // uniform | zipf | skewed_sites
+  int k = 0;
+  uint64_t n = 0;
+  double eps = 0;
+  double seconds = 0;
+  double elements_per_sec = 0;
+  double final_rel_error = 0;  // |estimate - truth| / n at the end
+};
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// The pre-fast-path replay loop, kept verbatim as the A/B baseline: one
+// virtual Arrive() per element, per-element geometric-checkpoint test.
+std::vector<sim::Checkpoint> OldReplayCountSites(
+    sim::CountTrackerInterface* tracker, const sim::SiteStream& sites,
+    double checkpoint_factor) {
+  std::vector<sim::Checkpoint> out;
+  uint64_t n = 0;
+  double next = 1.0;
+  for (uint16_t site : sites) {
+    tracker->Arrive(site);
+    ++n;
+    if (static_cast<double>(n) >= next) {
+      out.push_back(sim::Checkpoint{n, tracker->EstimateCount(),
+                                    static_cast<double>(n)});
+      next = static_cast<double>(n) * checkpoint_factor;
+    }
+  }
+  if (out.empty() || out.back().n != n) {
+    out.push_back(sim::Checkpoint{n, tracker->EstimateCount(),
+                                  static_cast<double>(n)});
+  }
+  return out;
+}
+
+// Delivers the whole workload. The fast path batches in large chunks (one
+// virtual dispatch per chunk); the per-arrival path replays history: one
+// virtual Arrive() per element.
+template <typename Tracker, typename ArriveFn>
+double DeliverTimed(Tracker* tracker, const sim::Workload& workload,
+                    bool batched, ArriveFn arrive_one) {
+  constexpr size_t kChunk = 1 << 16;
+  double t0 = Now();
+  if (batched) {
+    for (size_t i = 0; i < workload.size(); i += kChunk) {
+      size_t len = std::min(kChunk, workload.size() - i);
+      tracker->ArriveBatch(workload.data() + i, len);
+    }
+  } else {
+    for (const sim::Arrival& a : workload) arrive_one(tracker, a);
+  }
+  return Now() - t0;
+}
+
+// Best-of-`reps` timing of one configuration; returns the filled entry.
+// `make` builds a fresh tracker, `run` returns (seconds, final_rel_error).
+template <typename MakeFn, typename RunFn>
+BenchEntry TimeConfig(const std::string& problem, const std::string& path,
+                      const std::string& workload_name, int k, uint64_t n,
+                      double eps, int reps, MakeFn make, RunFn run) {
+  BenchEntry e;
+  e.problem = problem;
+  e.path = path;
+  e.workload = workload_name;
+  e.k = k;
+  e.n = n;
+  e.eps = eps;
+  e.seconds = 0;
+  for (int r = 0; r < reps; ++r) {
+    auto tracker = make();
+    auto [secs, rel_err] = run(tracker.get());
+    if (r == 0 || secs < e.seconds) e.seconds = secs;
+    e.final_rel_error = rel_err;  // same-seed runs agree; keep the last
+  }
+  e.elements_per_sec =
+      e.seconds > 0 ? static_cast<double>(n) / e.seconds : 0;
+  return e;
+}
+
+core::TrackerOptions Options(int k, double eps, bool skip) {
+  core::TrackerOptions opt;
+  opt.num_sites = k;
+  opt.epsilon = eps;
+  opt.seed = 20260728;
+  opt.use_skip_sampling = skip;
+  return opt;
+}
+
+std::unique_ptr<sim::CountTrackerInterface> MakeCount(
+    const core::TrackerOptions& opt) {
+  std::unique_ptr<sim::CountTrackerInterface> t;
+  Status s = core::MakeCountTracker(core::Algorithm::kRandomized, opt, &t);
+  if (!s.ok()) {
+    std::fprintf(stderr, "MakeCountTracker: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  return t;
+}
+
+std::unique_ptr<sim::FrequencyTrackerInterface> MakeFrequency(
+    const core::TrackerOptions& opt) {
+  std::unique_ptr<sim::FrequencyTrackerInterface> t;
+  Status s = core::MakeFrequencyTracker(core::Algorithm::kRandomized, opt, &t);
+  if (!s.ok()) {
+    std::fprintf(stderr, "MakeFrequencyTracker: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  return t;
+}
+
+std::unique_ptr<sim::RankTrackerInterface> MakeRank(
+    const core::TrackerOptions& opt) {
+  std::unique_ptr<sim::RankTrackerInterface> t;
+  Status s = core::MakeRankTracker(core::Algorithm::kRandomized, opt, &t);
+  if (!s.ok()) {
+    std::fprintf(stderr, "MakeRankTracker: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  return t;
+}
+
+void PrintEntry(const BenchEntry& e) {
+  std::printf("%-10s %-12s %-13s k=%-3d n=%-9llu %9.3fs %12.0f elem/s"
+              "  rel_err=%.5f\n",
+              e.problem.c_str(), e.path.c_str(), e.workload.c_str(), e.k,
+              static_cast<unsigned long long>(e.n), e.seconds,
+              e.elements_per_sec, e.final_rel_error);
+}
+
+void WriteJson(const std::vector<BenchEntry>& entries,
+               const std::vector<std::pair<int, double>>& count_speedups,
+               double eps, uint64_t n_count, const char* json_path) {
+  std::FILE* f = std::fopen(json_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", json_path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"throughput\",\n  \"runs\": [\n");
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const BenchEntry& e = entries[i];
+    std::fprintf(
+        f,
+        "    {\"problem\": \"%s\", \"path\": \"%s\", \"workload\": \"%s\", "
+        "\"k\": %d, \"n\": %llu, \"eps\": %g, \"seconds\": %.6f, "
+        "\"elements_per_sec\": %.1f, \"final_rel_error\": %.8f}%s\n",
+        e.problem.c_str(), e.path.c_str(), e.workload.c_str(), e.k,
+        static_cast<unsigned long long>(e.n), e.eps, e.seconds,
+        e.elements_per_sec, e.final_rel_error,
+        i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"count_ab\": [\n");
+  for (size_t i = 0; i < count_speedups.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"k\": %d, \"n\": %llu, \"eps\": %g, "
+                 "\"speedup_skip_batched_vs_per_arrival\": %.2f}%s\n",
+                 count_speedups[i].first,
+                 static_cast<unsigned long long>(n_count), eps,
+                 count_speedups[i].second,
+                 i + 1 < count_speedups.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+uint64_t FlagOr(int argc, char** argv, const char* name, uint64_t fallback) {
+  size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return std::strtoull(argv[i] + len + 1, nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double eps = 0.01;
+  const uint64_t n_count = FlagOr(argc, argv, "--n_count", 10000000);
+  const uint64_t n_freq = FlagOr(argc, argv, "--n_freq", 2000000);
+  const uint64_t n_rank = FlagOr(argc, argv, "--n_rank", 500000);
+  const int reps = static_cast<int>(FlagOr(argc, argv, "--reps", 3));
+  const char* json_path = "BENCH_throughput.json";
+  const uint64_t universe = 100000;
+
+  std::vector<BenchEntry> entries;
+  std::vector<std::pair<int, double>> count_speedups;
+
+  for (int k : {8, 64}) {
+    // ---- count: uniform-random and skewed site schedules, full A/B.
+    // Both engines replay the identical compact site stream with the same
+    // checkpoint schedule; only the delivery + sampling path differs.
+    for (auto [sched, sched_name] :
+         {std::pair(stream::SiteSchedule::kUniformRandom, "uniform"),
+          std::pair(stream::SiteSchedule::kSkewedGeometric, "skewed_sites")}) {
+      sim::SiteStream sites = stream::MakeCountSites(k, n_count, sched, 7);
+      double per_arrival_secs = 0;
+      for (bool skip : {false, true}) {
+        BenchEntry e = TimeConfig(
+            "count", skip ? "skip_batched" : "per_arrival", sched_name, k,
+            n_count, eps, reps,
+            [&] { return MakeCount(Options(k, eps, skip)); },
+            [&](sim::CountTrackerInterface* t) {
+              double t0 = Now();
+              auto checkpoints =
+                  skip ? sim::ReplayCountSites(t, sites, 1.5)
+                       : OldReplayCountSites(t, sites, 1.5);
+              double secs = Now() - t0;
+              const sim::Checkpoint& last = checkpoints.back();
+              double rel = last.n == 0
+                               ? 0.0
+                               : std::abs(last.estimate - last.truth) /
+                                     static_cast<double>(last.n);
+              return std::pair<double, double>(secs, rel);
+            });
+        PrintEntry(e);
+        if (!skip) per_arrival_secs = e.seconds;
+        else if (std::strcmp(sched_name, "uniform") == 0) {
+          count_speedups.emplace_back(k, per_arrival_secs / e.seconds);
+        }
+        entries.push_back(e);
+      }
+    }
+
+    // ---- frequency: uniform and Zipf(1.1) items, A/B.
+    for (auto [alpha, dist_name] :
+         {std::pair(0.0, "uniform"), std::pair(1.1, "zipf")}) {
+      sim::Workload w = stream::MakeFrequencyWorkload(
+          k, n_freq, stream::SiteSchedule::kUniformRandom, universe, alpha,
+          11);
+      uint64_t truth = stream::ExactFrequency(w, 0);
+      for (bool skip : {false, true}) {
+        BenchEntry e = TimeConfig(
+            "frequency", skip ? "skip_batched" : "per_arrival", dist_name, k,
+            n_freq, eps, reps,
+            [&] { return MakeFrequency(Options(k, eps, skip)); },
+            [&](sim::FrequencyTrackerInterface* t) {
+              double secs = DeliverTimed(
+                  t, w, skip,
+                  [](sim::FrequencyTrackerInterface* ft,
+                     const sim::Arrival& a) { ft->Arrive(a.site, a.key); });
+              double rel = n_freq == 0
+                               ? 0.0
+                               : std::abs(t->EstimateFrequency(0) -
+                                          static_cast<double>(truth)) /
+                                     static_cast<double>(n_freq);
+              return std::pair<double, double>(secs, rel);
+            });
+        PrintEntry(e);
+        entries.push_back(e);
+      }
+    }
+
+    // ---- rank: uniform values and Zipf(1.1)-skewed values, A/B.
+    for (auto [use_zipf, dist_name] :
+         {std::pair(false, "uniform"), std::pair(true, "zipf")}) {
+      sim::Workload w =
+          use_zipf ? stream::MakeFrequencyWorkload(
+                         k, n_rank, stream::SiteSchedule::kUniformRandom,
+                         universe, 1.1, 13)
+                   : stream::MakeRankWorkload(
+                         k, n_rank, stream::SiteSchedule::kUniformRandom,
+                         stream::ValueOrder::kUniformRandom, 17, 13);
+      uint64_t query = use_zipf ? universe / 2 : (1ull << 16);
+      uint64_t truth = stream::ExactRank(w, query);
+      for (bool skip : {false, true}) {
+        BenchEntry e = TimeConfig(
+            "rank", skip ? "skip_batched" : "per_arrival", dist_name, k,
+            n_rank, eps, reps,
+            [&] { return MakeRank(Options(k, eps, skip)); },
+            [&](sim::RankTrackerInterface* t) {
+              double secs = DeliverTimed(
+                  t, w, skip,
+                  [](sim::RankTrackerInterface* rt, const sim::Arrival& a) {
+                    rt->Arrive(a.site, a.key);
+                  });
+              double rel = n_rank == 0
+                               ? 0.0
+                               : std::abs(t->EstimateRank(query) -
+                                          static_cast<double>(truth)) /
+                                     static_cast<double>(n_rank);
+              return std::pair<double, double>(secs, rel);
+            });
+        PrintEntry(e);
+        entries.push_back(e);
+      }
+    }
+  }
+
+  WriteJson(entries, count_speedups, eps, n_count, json_path);
+  for (auto [k, speedup] : count_speedups) {
+    std::printf("count A/B (uniform, k=%d, n=%llu): skip_batched is %.2fx "
+                "per_arrival %s\n",
+                k, static_cast<unsigned long long>(n_count), speedup,
+                speedup >= 5.0 ? "[>=5x OK]" : "[below 5x target]");
+  }
+  std::printf("wrote %s\n", json_path);
+  return 0;
+}

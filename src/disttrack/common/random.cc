@@ -61,6 +61,23 @@ bool Rng::Bernoulli(double p) {
   return NextDouble() < p;
 }
 
+bool Rng::BernoulliPow2(int log2_inv_p) {
+  if (log2_inv_p <= 0) return true;
+  while (log2_inv_p > 64) {
+    if (NextU64() != 0) return false;
+    log2_inv_p -= 64;
+  }
+  return (NextU64() >> (64 - log2_inv_p)) == 0;
+}
+
+uint64_t Rng::GeometricFailuresPow2(int log2_inv_p) {
+  if (log2_inv_p <= 0) return 0;
+  // Inversion at p = 2^-j. For j up to ~40 the double-precision CDF
+  // inversion is exact to ~2^-53 relative error per draw, far below any
+  // observable bias at simulation scale.
+  return GeometricFailures(std::ldexp(1.0, -log2_inv_p));
+}
+
 int Rng::GeometricLevel() {
   int level = 0;
   for (;;) {

@@ -41,6 +41,24 @@ class Rng {
   /// Returns true with probability `p` (clamped to [0, 1]).
   bool Bernoulli(double p);
 
+  /// Returns true with probability exactly 2^-log2_inv_p, using a bitmask
+  /// test on the raw 64-bit draw — no double conversion, no FP compare.
+  /// The top `log2_inv_p` bits of a uniform word are a uniform
+  /// `log2_inv_p`-bit integer, so they are all zero with probability
+  /// exactly 2^-log2_inv_p. `log2_inv_p <= 0` returns true without
+  /// consuming randomness; values >= 64 chain extra words.
+  ///
+  /// Every protocol in the paper flips coins at p = 1/⌊·⌋₂, i.e. 1/p is
+  /// always a power of two. The trackers consume this coin process through
+  /// SkipSampler (one geometric gap per success rather than one coin per
+  /// arrival); BernoulliPow2 is the per-coin form of the same
+  /// distribution, used as the reference in the skip-path property tests.
+  bool BernoulliPow2(int log2_inv_p);
+
+  /// GeometricFailures for success probability 2^-log2_inv_p.
+  /// `log2_inv_p <= 0` returns 0.
+  uint64_t GeometricFailuresPow2(int log2_inv_p);
+
   /// Returns the number of consecutive "heads" of a fair coin before the
   /// first "tail" — i.e., a Geometric(1/2) level, P(level >= j) = 2^-j.
   /// Used by the sampling baseline [9] for binary level sampling.

@@ -1,0 +1,85 @@
+// Geometric skip sampling (Vitter-style) for per-arrival Bernoulli(p)
+// coins: instead of flipping one coin per arrival, draw the gap to the
+// next success once and count arrivals down, so the expected per-arrival
+// cost drops from one full RNG draw to one decrement.
+//
+// Exactness. For an i.i.d. Bernoulli(p) coin sequence, the number of
+// failures before the first success is Geometric(p) (counting failures),
+// and by independence the gaps between consecutive successes are i.i.d.
+// Geometric(p). A SkipSampler therefore reproduces the success/failure
+// process of per-arrival coins *exactly in distribution*: Next() returns
+// true on arrival t iff t is a success index of such a sequence.
+//
+// Changing p mid-stream. The skip counter only encodes coins that have
+// not been consumed yet, and future coins are independent of everything
+// already observed. Discarding the outstanding skip and redrawing at the
+// new p (Reset/ResetPow2) therefore yields a process identical in
+// distribution to flipping per-arrival coins whose probability switches
+// at the same point — this is what the trackers do on every p-halving
+// broadcast (§2.1 / §3.1 / §4 round transitions). The alternative,
+// thinning the old skip, is also exact but costs the same RNG work for
+// more code; we redraw.
+//
+// The skip counter is itself drawn by O(1) inversion (Rng::
+// GeometricFailures), so re-arming on a broadcast is cheap.
+
+#ifndef DISTTRACK_COMMON_SKIP_SAMPLER_H_
+#define DISTTRACK_COMMON_SKIP_SAMPLER_H_
+
+#include <cstdint>
+
+#include "disttrack/common/random.h"
+
+namespace disttrack {
+
+/// Counts down the gap to the next Bernoulli(p) success. Not thread-safe;
+/// one instance per (site, coin channel), matching the per-site private
+/// randomness of the model.
+class SkipSampler {
+ public:
+  /// Arms the sampler for success probability 2^-log2_inv_p (the paper's
+  /// p = 1/⌊·⌋₂ coins). Discards any outstanding skip.
+  void ResetPow2(int log2_inv_p, Rng* rng) {
+    pow2_ = true;
+    log2_inv_p_ = log2_inv_p > 0 ? log2_inv_p : 0;
+    skip_ = rng->GeometricFailuresPow2(log2_inv_p_);
+  }
+
+  /// Arms the sampler for a general success probability p in (0, 1].
+  /// Discards any outstanding skip.
+  void Reset(double p, Rng* rng) {
+    pow2_ = false;
+    p_ = p;
+    skip_ = rng->GeometricFailures(p);
+  }
+
+  /// Consumes one arrival's coin: true iff this arrival is a success.
+  /// On success the gap to the following success is redrawn.
+  bool Next(Rng* rng) {
+    if (skip_ > 0) {
+      --skip_;
+      return false;
+    }
+    skip_ = pow2_ ? rng->GeometricFailuresPow2(log2_inv_p_)
+                  : rng->GeometricFailures(p_);
+    return true;
+  }
+
+  /// Consumes `count` arrivals known to be failures in one step; requires
+  /// count <= pending_skips(). Batch engines use this to retire a run of
+  /// eventless arrivals without per-element Next() calls.
+  void ConsumeFailures(uint64_t count) { skip_ -= count; }
+
+  /// Arrivals that will fail before the next success (diagnostics/tests).
+  uint64_t pending_skips() const { return skip_; }
+
+ private:
+  uint64_t skip_ = 0;
+  int log2_inv_p_ = 0;  // pow2 mode: success probability 2^-log2_inv_p_
+  double p_ = 1.0;      // general mode: success probability
+  bool pow2_ = true;
+};
+
+}  // namespace disttrack
+
+#endif  // DISTTRACK_COMMON_SKIP_SAMPLER_H_

@@ -36,6 +36,15 @@ void BoostedCountTracker::Arrive(int site) {
   for (auto& copy : copies_) copy->Arrive(site);
 }
 
+void BoostedCountTracker::ArriveBatch(const sim::Arrival* arrivals,
+                                      size_t count) {
+  for (auto& copy : copies_) copy->ArriveBatch(arrivals, count);
+}
+
+void BoostedCountTracker::ArriveSites(const uint16_t* sites, size_t count) {
+  for (auto& copy : copies_) copy->ArriveSites(sites, count);
+}
+
 double BoostedCountTracker::EstimateCount() const {
   std::vector<double> estimates;
   estimates.reserve(copies_.size());
@@ -66,6 +75,11 @@ BoostedFrequencyTracker::BoostedFrequencyTracker(
 
 void BoostedFrequencyTracker::Arrive(int site, uint64_t item) {
   for (auto& copy : copies_) copy->Arrive(site, item);
+}
+
+void BoostedFrequencyTracker::ArriveBatch(const sim::Arrival* arrivals,
+                                          size_t count) {
+  for (auto& copy : copies_) copy->ArriveBatch(arrivals, count);
 }
 
 double BoostedFrequencyTracker::EstimateFrequency(uint64_t item) const {
@@ -100,6 +114,11 @@ BoostedRankTracker::BoostedRankTracker(
 
 void BoostedRankTracker::Arrive(int site, uint64_t value) {
   for (auto& copy : copies_) copy->Arrive(site, value);
+}
+
+void BoostedRankTracker::ArriveBatch(const sim::Arrival* arrivals,
+                                     size_t count) {
+  for (auto& copy : copies_) copy->ArriveBatch(arrivals, count);
 }
 
 double BoostedRankTracker::EstimateRank(uint64_t value) const {

@@ -24,6 +24,8 @@ class BoostedCountTracker : public sim::CountTrackerInterface {
       std::vector<std::unique_ptr<sim::CountTrackerInterface>> copies);
 
   void Arrive(int site) override;
+  void ArriveBatch(const sim::Arrival* arrivals, size_t count) override;
+  void ArriveSites(const uint16_t* sites, size_t count) override;
   double EstimateCount() const override;
   uint64_t TrueCount() const override;
   const sim::CommMeter& meter() const override;
@@ -44,6 +46,7 @@ class BoostedFrequencyTracker : public sim::FrequencyTrackerInterface {
       std::vector<std::unique_ptr<sim::FrequencyTrackerInterface>> copies);
 
   void Arrive(int site, uint64_t item) override;
+  void ArriveBatch(const sim::Arrival* arrivals, size_t count) override;
   double EstimateFrequency(uint64_t item) const override;
   uint64_t TrueCount() const override;
   const sim::CommMeter& meter() const override;
@@ -64,6 +67,7 @@ class BoostedRankTracker : public sim::RankTrackerInterface {
       std::vector<std::unique_ptr<sim::RankTrackerInterface>> copies);
 
   void Arrive(int site, uint64_t value) override;
+  void ArriveBatch(const sim::Arrival* arrivals, size_t count) override;
   double EstimateRank(uint64_t value) const override;
   uint64_t TrueCount() const override;
   const sim::CommMeter& meter() const override;

@@ -88,6 +88,7 @@ Status MakeOneCount(Algorithm algorithm, const TrackerOptions& options,
       o.seed = seed;
       o.confidence_factor = ConfidenceOr(options, kDefaultCountConfidence);
       o.naive_boundary_estimator = options.naive_boundary_estimator;
+      o.use_skip_sampling = options.use_skip_sampling;
       if (Status s = o.Validate(); !s.ok()) return s;
       *out = std::make_unique<count::RandomizedCountTracker>(o);
       return Status::OK();
@@ -127,6 +128,7 @@ Status MakeOneFrequency(Algorithm algorithm, const TrackerOptions& options,
           ConfidenceOr(options, kDefaultFrequencyConfidence);
       o.naive_boundary_estimator = options.naive_boundary_estimator;
       o.virtual_site_split = options.virtual_site_split;
+      o.use_skip_sampling = options.use_skip_sampling;
       if (Status s = o.Validate(); !s.ok()) return s;
       *out = std::make_unique<frequency::RandomizedFrequencyTracker>(o);
       return Status::OK();
@@ -164,6 +166,7 @@ Status MakeOneRank(Algorithm algorithm, const TrackerOptions& options,
       o.epsilon = options.epsilon;
       o.seed = seed;
       o.confidence_factor = ConfidenceOr(options, kDefaultRankConfidence);
+      o.use_skip_sampling = options.use_skip_sampling;
       if (Status s = o.Validate(); !s.ok()) return s;
       *out = std::make_unique<rank::RandomizedRankTracker>(o);
       return Status::OK();

@@ -52,6 +52,13 @@ struct TrackerOptions {
   bool naive_boundary_estimator = false;
   bool virtual_site_split = true;
 
+  /// When true (default) the randomized protocols realize their
+  /// per-arrival Bernoulli(p) coins with geometric skip sampling (see
+  /// common/skip_sampler.h) — identical in distribution, much cheaper per
+  /// arrival. False selects the historical one-RNG-draw-per-arrival path;
+  /// kept for A/B benchmarking (bench_throughput) and equivalence tests.
+  bool use_skip_sampling = true;
+
   Status Validate() const;
 };
 

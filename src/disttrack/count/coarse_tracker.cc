@@ -21,7 +21,25 @@ void CoarseTracker::Arrive(int site) {
   SiteState& s = local_[static_cast<size_t>(site)];
   ++s.count;
   if (s.count < s.next_report) return;
+  ReportAndMaybeBroadcast(site);
+}
 
+void CoarseTracker::ArriveRun(int site, uint64_t count) {
+  SiteState& s = local_[static_cast<size_t>(site)];
+  while (count > 0) {
+    uint64_t gap = s.next_report - s.count;  // invariant: count < next_report
+    if (count < gap) {
+      s.count += count;
+      return;
+    }
+    s.count += gap;
+    count -= gap;
+    ReportAndMaybeBroadcast(site);
+  }
+}
+
+void CoarseTracker::ReportAndMaybeBroadcast(int site) {
+  SiteState& s = local_[static_cast<size_t>(site)];
   // Site -> coordinator: the local count has doubled.
   meter_->RecordUpload(site, 1);
   n_prime_ += s.count - s.last_reported;

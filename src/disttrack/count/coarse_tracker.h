@@ -38,6 +38,21 @@ class CoarseTracker {
   /// One element arrives at `site`; may trigger an upload and a broadcast.
   void Arrive(int site);
 
+  /// Advances `site` by `count` arrivals in bulk, firing every report and
+  /// broadcast at exactly the local counts where per-element Arrive() calls
+  /// would have fired them. Reports double in spacing, so a run of m
+  /// arrivals costs O(log m) work plus events — this is the coarse-tracker
+  /// half of the batched fast path.
+  void ArriveRun(int site, uint64_t count);
+
+  /// Arrivals at `site` before its next report fires (always >= 1). Batch
+  /// engines use this to bound how far they may advance without observing
+  /// an event.
+  uint64_t arrivals_until_report(int site) const {
+    const SiteState& s = local_[static_cast<size_t>(site)];
+    return s.next_report - s.count;
+  }
+
   /// Last broadcast value (0 before the first element arrives).
   uint64_t n_bar() const { return n_bar_; }
 
@@ -59,6 +74,10 @@ class CoarseTracker {
     uint64_t next_report = 1;    // report when count reaches this (doubles)
     uint64_t last_reported = 0;  // n'_i at the coordinator
   };
+
+  // Slow path of Arrive(): charge the upload, refresh n', and broadcast if
+  // n' has at least doubled since the last broadcast.
+  void ReportAndMaybeBroadcast(int site);
 
   sim::CommMeter* meter_;
   std::vector<SiteState> local_;

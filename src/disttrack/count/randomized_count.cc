@@ -1,6 +1,8 @@
 #include "disttrack/count/randomized_count.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "disttrack/common/math_util.h"
 
@@ -27,15 +29,20 @@ RandomizedCountTracker::RandomizedCountTracker(
       space_(options.num_sites),
       sites_(static_cast<size_t>(options.num_sites)) {
   for (int i = 0; i < options_.num_sites; ++i) {
-    sites_[static_cast<size_t>(i)].rng =
+    SiteState& s = sites_[static_cast<size_t>(i)];
+    s.rng =
         Rng(options_.seed * 0x9E3779B97F4A7C15ull + static_cast<uint64_t>(i));
-    // O(1) site state: counter, last report, doubling threshold, 1/p copy.
-    space_.Set(i, 4);
+    s.skip.ResetPow2(log2_inv_p_, &s.rng);
+    // O(1) site state: counter, last report, doubling threshold, 1/p copy,
+    // plus the skip countdown on the fast path.
+    space_.Set(i, options_.use_skip_sampling ? 5 : 4);
   }
   coarse_ = std::make_unique<CoarseTracker>(options_.num_sites, &meter_);
   coarse_->AddObserver([this](uint64_t round, uint64_t n_bar) {
     OnBroadcast(round, n_bar);
   });
+  until_.resize(sites_.size(), 0);
+  stride_.resize(sites_.size(), 0);
 }
 
 uint64_t RandomizedCountTracker::InvPFor(uint64_t n_bar) const {
@@ -53,8 +60,10 @@ double RandomizedCountTracker::p() const {
 
 void RandomizedCountTracker::OnBroadcast(uint64_t /*round*/, uint64_t n_bar) {
   uint64_t new_inv_p = InvPFor(n_bar);
+  bool halved = inv_p_ < new_inv_p;
   while (inv_p_ < new_inv_p) {
     inv_p_ *= 2;
+    ++log2_inv_p_;
     double p_new = 1.0 / static_cast<double>(inv_p_);
     // Re-randomization ritual, once per halving, at every site that holds a
     // report (§2.1). The broadcast that told sites the new n̄ was already
@@ -79,23 +88,141 @@ void RandomizedCountTracker::OnBroadcast(uint64_t /*round*/, uint64_t n_bar) {
       }
     }
   }
+  // A halved p invalidates every outstanding skip: the counters encode
+  // gaps of the *old* coin process. Unconsumed coins are independent of
+  // everything observed, so redrawing at the final p is exact (see
+  // skip_sampler.h). One redraw after the loop covers any number of
+  // halvings. Mid-batch, the countdowns scheduled from the old skips must
+  // be flushed first and re-armed after.
+  if (halved && options_.use_skip_sampling) {
+    if (in_batch_) ResyncAllMidBatch();
+    for (SiteState& s : sites_) s.skip.ResetPow2(log2_inv_p_, &s.rng);
+    if (in_batch_) RearmAll();
+  }
 }
 
-void RandomizedCountTracker::Arrive(int site) {
+void RandomizedCountTracker::Report(int site) {
+  SiteState& s = sites_[static_cast<size_t>(site)];
+  meter_.RecordUpload(site, 1);
+  if (s.reported > 0) reported_sum_ -= s.reported;
+  else ++reported_count_;
+  s.reported = s.count;
+  reported_sum_ += s.reported;
+}
+
+inline void RandomizedCountTracker::ArriveOne(int site) {
   ++n_;
   SiteState& s = sites_[static_cast<size_t>(site)];
   ++s.count;
   // The coarse tracker may broadcast here, halving p before this arrival's
-  // coin is flipped — the flip below then uses the up-to-date p.
+  // coin is consumed — the skip redraw (or the flip below) then uses the
+  // up-to-date p.
   coarse_->Arrive(site);
-  double cur_p = 1.0 / static_cast<double>(inv_p_);
-  if (s.rng.Bernoulli(cur_p)) {
-    meter_.RecordUpload(site, 1);
-    if (s.reported > 0) reported_sum_ -= s.reported;
-    else ++reported_count_;
-    s.reported = s.count;
-    reported_sum_ += s.reported;
+  if (options_.use_skip_sampling) {
+    if (s.skip.Next(&s.rng)) Report(site);
+  } else {
+    if (s.rng.Bernoulli(1.0 / static_cast<double>(inv_p_))) Report(site);
   }
+}
+
+void RandomizedCountTracker::Arrive(int site) { ArriveOne(site); }
+
+void RandomizedCountTracker::RearmSite(int site) {
+  SiteState& s = sites_[static_cast<size_t>(site)];
+  uint64_t gap = std::min(coarse_->arrivals_until_report(site),
+                          s.skip.pending_skips() + 1);
+  // Clamp to 32 bits: an early "event" whose arrival turns out to be
+  // eventless is handled correctly by HandleEventArrival, whose coarse
+  // Arrive and coin Next are exact per-arrival operations either way.
+  uint32_t armed = static_cast<uint32_t>(
+      std::min<uint64_t>(gap, std::numeric_limits<uint32_t>::max()));
+  stride_[static_cast<size_t>(site)] = armed;
+  until_[static_cast<size_t>(site)] = armed;
+}
+
+void RandomizedCountTracker::RearmAll() {
+  for (int i = 0; i < options_.num_sites; ++i) RearmSite(i);
+}
+
+// Retires `consumed` arrivals at `site` that are known to be eventless:
+// plain count advances and coin failures. By construction consumed is
+// strictly below both the coarse-report gap and the pending skip count, so
+// neither a report nor a coin success can fire here.
+void RandomizedCountTracker::SyncEventless(int site, uint64_t consumed) {
+  if (consumed == 0) return;
+  SiteState& s = sites_[static_cast<size_t>(site)];
+  s.count += consumed;
+  s.skip.ConsumeFailures(consumed);
+  coarse_->ArriveRun(site, consumed);
+}
+
+// Flushes every site's consumed-but-unreconciled arrivals. Called when a
+// mid-batch broadcast is about to redraw the skips (the countdowns encode
+// coin gaps of the old p) and at batch end.
+void RandomizedCountTracker::ResyncAllMidBatch() {
+  for (int i = 0; i < options_.num_sites; ++i) {
+    size_t idx = static_cast<size_t>(i);
+    uint64_t consumed = stride_[idx] - until_[idx];
+    stride_[idx] = until_[idx];  // consumed arrivals are now reconciled
+    SyncEventless(i, consumed);
+  }
+}
+
+// The countdown for `site` hit zero: reconcile the eventless prefix of its
+// stride, then process the current arrival exactly as the scalar path
+// would — coarse first (a broadcast here redraws skips before the coin is
+// consumed), then the coin.
+void RandomizedCountTracker::HandleEventArrival(int site) {
+  size_t idx = static_cast<size_t>(site);
+  uint64_t prefix = stride_[idx] - 1;
+  // Mark the site fully reconciled before touching coarse: if this arrival
+  // broadcasts, ResyncAllMidBatch must see zero outstanding arrivals here.
+  stride_[idx] = 0;
+  until_[idx] = 0;
+  SyncEventless(site, prefix);
+  SiteState& s = sites_[idx];
+  ++s.count;
+  coarse_->Arrive(site);
+  if (s.skip.Next(&s.rng)) Report(site);
+  RearmSite(site);
+}
+
+void RandomizedCountTracker::ArriveBatch(const sim::Arrival* arrivals,
+                                         size_t count) {
+  if (!options_.use_skip_sampling) {
+    for (size_t i = 0; i < count; ++i) ArriveOne(arrivals[i].site);
+    return;
+  }
+  // Event-countdown engine: one decrement per eventless arrival. n_ is
+  // advanced up front; nothing inside the batch reads it.
+  n_ += count;
+  in_batch_ = true;
+  RearmAll();
+  uint32_t* until = until_.data();
+  for (size_t i = 0; i < count; ++i) {
+    int site = arrivals[i].site;
+    if (--until[site] == 0) HandleEventArrival(site);
+  }
+  ResyncAllMidBatch();
+  in_batch_ = false;
+}
+
+void RandomizedCountTracker::ArriveSites(const uint16_t* sites,
+                                         size_t count) {
+  if (!options_.use_skip_sampling) {
+    for (size_t i = 0; i < count; ++i) ArriveOne(sites[i]);
+    return;
+  }
+  n_ += count;
+  in_batch_ = true;
+  RearmAll();
+  uint32_t* until = until_.data();
+  for (size_t i = 0; i < count; ++i) {
+    unsigned site = sites[i];
+    if (--until[site] == 0) HandleEventArrival(static_cast<int>(site));
+  }
+  ResyncAllMidBatch();
+  in_batch_ = false;
 }
 
 double RandomizedCountTracker::EstimateCount() const {

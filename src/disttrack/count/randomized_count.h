@@ -19,6 +19,13 @@
 // system is distributed exactly as if it had always run with the new p.
 //
 // Communication: O(√k/ε · logN) in expectation; per-site space: O(1) words.
+//
+// Hot path: by default each site realizes its Bernoulli(p) coins with a
+// geometric SkipSampler (skip_sampler.h), so an arrival between successes
+// costs one counter decrement instead of an RNG draw + double compare;
+// every p-halving redraws the outstanding skips (exact by independence of
+// unconsumed coins). The per-arrival coin path survives behind
+// `use_skip_sampling = false` for A/B measurement.
 
 #ifndef DISTTRACK_COUNT_RANDOMIZED_COUNT_H_
 #define DISTTRACK_COUNT_RANDOMIZED_COUNT_H_
@@ -28,6 +35,7 @@
 #include <vector>
 
 #include "disttrack/common/random.h"
+#include "disttrack/common/skip_sampler.h"
 #include "disttrack/common/status.h"
 #include "disttrack/count/coarse_tracker.h"
 #include "disttrack/sim/protocol.h"
@@ -53,6 +61,13 @@ struct RandomizedCountOptions {
   /// Θ(εn/√k)-per-site bias the paper warns about after Lemma 2.1.
   bool naive_boundary_estimator = false;
 
+  /// When true (default), per-arrival Bernoulli(p) coins are realized by a
+  /// geometric SkipSampler per site — identical in distribution (see
+  /// skip_sampler.h for the argument), ~an order of magnitude cheaper per
+  /// arrival. False selects the historical one-RNG-draw-per-arrival path
+  /// (kept for A/B benchmarking and equivalence tests).
+  bool use_skip_sampling = true;
+
   Status Validate() const;
 };
 
@@ -62,6 +77,8 @@ class RandomizedCountTracker : public sim::CountTrackerInterface {
   explicit RandomizedCountTracker(const RandomizedCountOptions& options);
 
   void Arrive(int site) override;
+  void ArriveBatch(const sim::Arrival* arrivals, size_t count) override;
+  void ArriveSites(const uint16_t* sites, size_t count) override;
   double EstimateCount() const override;
   uint64_t TrueCount() const override { return n_; }
   const sim::CommMeter& meter() const override { return meter_; }
@@ -76,6 +93,25 @@ class RandomizedCountTracker : public sim::CountTrackerInterface {
  private:
   void OnBroadcast(uint64_t round, uint64_t n_bar);
   uint64_t InvPFor(uint64_t n_bar) const;
+  void ArriveOne(int site);
+  void Report(int site);
+
+  // --- Batched fast path -------------------------------------------------
+  // While a batch is in flight, each site carries a countdown to its next
+  // *event* — a coarse-tracker report or a skip-sampler coin success;
+  // whichever is sooner. Eventless arrivals cost one decrement; the
+  // deferred per-site state (exact count, coarse count, consumed coin
+  // failures) is reconciled when the countdown hits zero, when a broadcast
+  // fires mid-batch (a new p invalidates scheduled coin successes), and at
+  // batch end. Events fire at exactly the arrival indices where the scalar
+  // path would fire them, and the RNG draw sequence is unchanged, so the
+  // batch path is bit-identical to per-element Arrive() with skip sampling
+  // (tested in skip_equivalence_test).
+  void RearmSite(int site);
+  void RearmAll();
+  void SyncEventless(int site, uint64_t consumed);
+  void HandleEventArrival(int site);
+  void ResyncAllMidBatch();
 
   RandomizedCountOptions options_;
   sim::CommMeter meter_;
@@ -86,15 +122,25 @@ class RandomizedCountTracker : public sim::CountTrackerInterface {
   struct SiteState {
     uint64_t count = 0;     // exact n_i
     uint64_t reported = 0;  // n̄_i; 0 means "does not exist"
+    SkipSampler skip;       // gap to the site's next Bernoulli(p) success
     Rng rng{0};
   };
   std::vector<SiteState> sites_;
 
   // Coordinator-side state.
   uint64_t inv_p_ = 1;          // 1/p, always a power of two
+  int log2_inv_p_ = 0;          // log2(inv_p_), the skip samplers' argument
   uint64_t reported_sum_ = 0;   // Σ n̄_i over existing reports
   uint64_t reported_count_ = 0; // |{i : n̄_i exists}|
   uint64_t n_ = 0;              // ground truth (harness-side)
+
+  // Batch fast-path countdowns (meaningful only while in_batch_). 32-bit
+  // so the whole array stays in one or two cache lines; RearmSite clamps a
+  // larger true gap, which just schedules a harmless early reconciliation
+  // (the slow path re-derives every event from authoritative state).
+  std::vector<uint32_t> until_;   // arrivals at site i before its next event
+  std::vector<uint32_t> stride_;  // value until_[i] was last armed with
+  bool in_batch_ = false;
 };
 
 }  // namespace count

@@ -32,6 +32,9 @@ RandomizedFrequencyTracker::RandomizedFrequencyTracker(
     s.instance = next_instance_++;
     s.rng = Rng(options_.seed * 0xA24BAED4963EE407ull +
                 static_cast<uint64_t>(i));
+    s.counter_skip.ResetPow2(log2_inv_p_, &s.rng);
+    s.sample_skip.ResetPow2(log2_inv_p_, &s.rng);
+    UpdateSpace(i);
   }
   coarse_ = std::make_unique<count::CoarseTracker>(options_.num_sites,
                                                    &meter_);
@@ -76,6 +79,7 @@ void RandomizedFrequencyTracker::OnBroadcast(uint64_t /*round*/,
   // with the new parameters (§3.1 "Dealing with a decreasing p").
   FoldRound();
   inv_p_ = InvPFor(n_bar);
+  log2_inv_p_ = FloorLog2(inv_p_);
   split_threshold_ = std::max<uint64_t>(
       1, n_bar / static_cast<uint64_t>(options_.num_sites));
   for (int i = 0; i < options_.num_sites; ++i) {
@@ -83,22 +87,32 @@ void RandomizedFrequencyTracker::OnBroadcast(uint64_t /*round*/,
     s.counters.clear();
     s.round_arrivals = 0;
     s.instance = next_instance_++;
+    if (options_.use_skip_sampling) {
+      // The new p invalidates outstanding skips (they encode old-p coin
+      // gaps); redrawing is exact by independence of unconsumed coins.
+      s.counter_skip.ResetPow2(log2_inv_p_, &s.rng);
+      s.sample_skip.ResetPow2(log2_inv_p_, &s.rng);
+    }
     UpdateSpace(i);
   }
 }
 
 void RandomizedFrequencyTracker::UpdateSpace(int site) {
   const SiteState& s = sites_[static_cast<size_t>(site)];
-  space_.Set(site, 2 * s.counters.size() + 4);
+  // Counter list (item, value pairs) plus O(1) fixed state: instance id,
+  // round arrival counter, 1/p copy, split threshold, and the two skip
+  // countdowns.
+  space_.Set(site, 2 * s.counters.size() + 6);
 }
 
-void RandomizedFrequencyTracker::Arrive(int site, uint64_t item) {
+inline void RandomizedFrequencyTracker::ArriveOne(int site, uint64_t item) {
   ++n_;
   coarse_->Arrive(site);
   SiteState& s = sites_[static_cast<size_t>(site)];
 
   // Virtual-site split: the (n̄/k + 1)-th element of a round starts a fresh
-  // copy of the algorithm at this site (§3.1).
+  // copy of the algorithm at this site (§3.1). p is unchanged, so the skip
+  // counters stay valid across the split.
   if (options_.virtual_site_split &&
       s.round_arrivals >= split_threshold_) {
     meter_.RecordUpload(site, 1);  // split notification
@@ -106,37 +120,62 @@ void RandomizedFrequencyTracker::Arrive(int site, uint64_t item) {
     s.instance = next_instance_++;
     s.round_arrivals = 0;
     ++splits_;
+    UpdateSpace(site);
   }
   ++s.round_arrivals;
 
-  double cur_p = 1.0 / static_cast<double>(inv_p_);
+  // Each arrival consumes exactly one coin per channel: the counter
+  // channel decides re-report (item tracked) or creation (item untracked);
+  // the sampling channel decides forwarding (d_ij). Skip counters realize
+  // the same two coin sequences with one decrement per miss.
+  bool counter_hit, sample_hit;
+  if (options_.use_skip_sampling) {
+    counter_hit = s.counter_skip.Next(&s.rng);
+    sample_hit = s.sample_skip.Next(&s.rng);
+  } else {
+    double cur_p = 1.0 / static_cast<double>(inv_p_);
+    counter_hit = s.rng.Bernoulli(cur_p);
+    sample_hit = s.rng.Bernoulli(cur_p);
+  }
 
-  // Counter-list channel.
+  // Counter-list channel. The find is only needed to route a hit and to
+  // increment an existing counter; misses on untracked items touch no
+  // coordinator state.
   auto it = s.counters.find(item);
   if (it != s.counters.end()) {
     ++it->second;
-    if (s.rng.Bernoulli(cur_p)) {
+    if (counter_hit) {
       meter_.RecordUpload(site, 2);
       live_[item].cbar[s.instance] = it->second;
     }
-  } else if (s.rng.Bernoulli(cur_p)) {
+  } else if (counter_hit) {
     s.counters.emplace(item, 1);
     meter_.RecordUpload(site, 2);
     ItemAgg& agg = live_[item];
     agg.cbar[s.instance] = 1;
     agg.d_no_counter.erase(s.instance);  // d is superseded by the counter
+    UpdateSpace(site);  // the counter set grew; splits/rounds handle shrink
   }
 
   // Independent simple-random-sampling channel (d_ij).
-  if (s.rng.Bernoulli(cur_p)) {
+  if (sample_hit) {
     meter_.RecordUpload(site, 1);
     ItemAgg& agg = live_[item];
     if (agg.cbar.find(s.instance) == agg.cbar.end()) {
       agg.d_no_counter[s.instance] += 1;
     }
   }
+}
 
-  UpdateSpace(site);
+void RandomizedFrequencyTracker::Arrive(int site, uint64_t item) {
+  ArriveOne(site, item);
+}
+
+void RandomizedFrequencyTracker::ArriveBatch(const sim::Arrival* arrivals,
+                                             size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    ArriveOne(arrivals[i].site, arrivals[i].key);
+  }
 }
 
 double RandomizedFrequencyTracker::EstimateFrequency(uint64_t item) const {

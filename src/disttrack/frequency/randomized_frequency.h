@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "disttrack/common/random.h"
+#include "disttrack/common/skip_sampler.h"
 #include "disttrack/common/status.h"
 #include "disttrack/count/coarse_tracker.h"
 #include "disttrack/sim/protocol.h"
@@ -54,6 +55,12 @@ struct RandomizedFrequencyOptions {
   /// O(p·n̄) = O(√k/ε) at a site receiving the whole stream).
   bool virtual_site_split = true;
 
+  /// When true (default), the two per-arrival Bernoulli(p) coins (counter
+  /// channel and sampling channel) are realized by two geometric
+  /// SkipSamplers per site — identical in distribution, redrawn on every
+  /// round broadcast. False selects the historical per-arrival coin path.
+  bool use_skip_sampling = true;
+
   Status Validate() const;
 };
 
@@ -64,6 +71,7 @@ class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface {
       const RandomizedFrequencyOptions& options);
 
   void Arrive(int site, uint64_t item) override;
+  void ArriveBatch(const sim::Arrival* arrivals, size_t count) override;
   double EstimateFrequency(uint64_t item) const override;
   uint64_t TrueCount() const override { return n_; }
   const sim::CommMeter& meter() const override { return meter_; }
@@ -82,6 +90,10 @@ class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface {
     uint64_t instance = 0;  // current virtual-site id (globally unique)
     uint64_t round_arrivals = 0;
     std::unordered_map<uint64_t, uint64_t> counters;  // L_i
+    // One skip channel per independent per-arrival coin: the counter
+    // channel (create-or-re-report) and the sampling channel (d_ij).
+    SkipSampler counter_skip;
+    SkipSampler sample_skip;
     Rng rng{0};
   };
 
@@ -98,6 +110,7 @@ class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface {
   double LiveEstimate(const ItemAgg& agg) const;
   uint64_t InvPFor(uint64_t n_bar) const;
   void UpdateSpace(int site);
+  void ArriveOne(int site, uint64_t item);
 
   RandomizedFrequencyOptions options_;
   sim::CommMeter meter_;
@@ -109,6 +122,7 @@ class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface {
   std::unordered_map<uint64_t, double> frozen_;  // completed rounds
 
   uint64_t inv_p_ = 1;
+  int log2_inv_p_ = 0;            // log2(inv_p_), the skip samplers' argument
   uint64_t split_threshold_ = 1;  // n̄/k
   uint64_t next_instance_ = 0;
   uint64_t splits_ = 0;

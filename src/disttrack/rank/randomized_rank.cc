@@ -65,6 +65,12 @@ void RandomizedRankTracker::StartFreshInstance(SiteState* s) {
   s->nodes.clear();
   s->nodes.resize(static_cast<size_t>(height_) + 1);
   instances_[s->instance].inv_p = inv_p_;
+  if (options_.use_skip_sampling) {
+    // Rounds change p, which invalidates outstanding skips; chunk
+    // boundaries don't, but a redraw is exact either way (independence of
+    // unconsumed coins) and keeps the transition logic in one place.
+    s->tail_skip.Reset(1.0 / inv_p_, &s->rng);
+  }
 }
 
 void RandomizedRankTracker::OnBroadcast(uint64_t /*round*/, uint64_t n_bar) {
@@ -108,14 +114,14 @@ void RandomizedRankTracker::FlushNode(int site, SiteState* s, int level,
 
 void RandomizedRankTracker::UpdateSpace(int site) {
   const SiteState& s = sites_[static_cast<size_t>(site)];
-  uint64_t words = 8;  // counters, ids, round parameters
+  uint64_t words = 9;  // counters, ids, round parameters, skip countdown
   for (const auto& node : s.nodes) {
     if (node != nullptr) words += node->SpaceWords();
   }
   space_.Set(site, words);
 }
 
-void RandomizedRankTracker::Arrive(int site, uint64_t value) {
+inline void RandomizedRankTracker::ArriveOne(int site, uint64_t value) {
   ++n_;
   coarse_->Arrive(site);
   SiteState& s = sites_[static_cast<size_t>(site)];
@@ -132,7 +138,10 @@ void RandomizedRankTracker::Arrive(int site, uint64_t value) {
 
   // In-progress tail channel: forward with probability p, tagged with the
   // leaf index.
-  if (s.rng.Bernoulli(1.0 / inv_p_)) {
+  bool forward = options_.use_skip_sampling
+                     ? s.tail_skip.Next(&s.rng)
+                     : s.rng.Bernoulli(1.0 / inv_p_);
+  if (forward) {
     meter_.RecordUpload(site, 2);
     instances_[s.instance].residuals.push_back(
         ResidualSample{s.current_leaf, value});
@@ -144,6 +153,12 @@ void RandomizedRankTracker::Arrive(int site, uint64_t value) {
   bool leaf_done = s.arrivals_in_leaf >= block_size_ || chunk_done;
 
   if (leaf_done) {
+    // Space watermark, sampled at leaf boundaries rather than per arrival
+    // (the nodes are at their fullest right before the flush, so this
+    // keeps the recorded peak while dropping a full node scan per
+    // arrival). Intra-leaf compactor transients are bounded by the same
+    // O(1/eps_l) capacity the boundary reading shows.
+    UpdateSpace(site);
     uint32_t completed_end = s.current_leaf + 1;
     for (int level = 0; level <= height_; ++level) {
       uint32_t node_start = (s.current_leaf >> level) << level;
@@ -183,7 +198,17 @@ void RandomizedRankTracker::Arrive(int site, uint64_t value) {
       s.arrivals_in_leaf = 0;
     }
   }
-  UpdateSpace(site);
+}
+
+void RandomizedRankTracker::Arrive(int site, uint64_t value) {
+  ArriveOne(site, value);
+}
+
+void RandomizedRankTracker::ArriveBatch(const sim::Arrival* arrivals,
+                                        size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    ArriveOne(arrivals[i].site, arrivals[i].key);
+  }
 }
 
 double RandomizedRankTracker::SummaryRankBelow(const StoredSummary& summary,

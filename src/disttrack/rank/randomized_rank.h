@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "disttrack/common/random.h"
+#include "disttrack/common/skip_sampler.h"
 #include "disttrack/common/status.h"
 #include "disttrack/count/coarse_tracker.h"
 #include "disttrack/sim/protocol.h"
@@ -50,6 +51,13 @@ struct RandomizedRankOptions {
   /// cutting the variance by c² at ~c× the communication.
   double confidence_factor = 4.0;
 
+  /// When true (default), the per-arrival Bernoulli(p) tail-channel coin is
+  /// realized by a geometric SkipSampler per site (redrawn at every round
+  /// boundary, where p changes). False selects the historical per-arrival
+  /// coin path. Note the rank p is not rounded to a power of two, so the
+  /// sampler runs in general-p mode.
+  bool use_skip_sampling = true;
+
   Status Validate() const;
 };
 
@@ -59,6 +67,7 @@ class RandomizedRankTracker : public sim::RankTrackerInterface {
   explicit RandomizedRankTracker(const RandomizedRankOptions& options);
 
   void Arrive(int site, uint64_t value) override;
+  void ArriveBatch(const sim::Arrival* arrivals, size_t count) override;
   double EstimateRank(uint64_t value) const override;
   uint64_t TrueCount() const override { return n_; }
   const sim::CommMeter& meter() const override { return meter_; }
@@ -104,10 +113,12 @@ class RandomizedRankTracker : public sim::RankTrackerInterface {
     uint32_t current_leaf = 0;
     // nodes[l] is the active level-l node's summary (lazily created).
     std::vector<std::unique_ptr<summaries::CompactorSummary>> nodes;
+    SkipSampler tail_skip;  // gap to the next tail-channel forward
     Rng rng{0};
   };
 
   void OnBroadcast(uint64_t round, uint64_t n_bar);
+  void ArriveOne(int site, uint64_t value);
   void RecomputeRoundParams(uint64_t n_bar);
   void StartFreshInstance(SiteState* s);
   void FlushNode(int site, SiteState* s, int level, uint32_t node_start,

@@ -1,23 +1,46 @@
 #include "disttrack/sim/cluster.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
 namespace disttrack {
 namespace sim {
 
 namespace {
 
-// Shared geometric-checkpoint replay skeleton. `deliver` pushes one arrival;
+void CheckCheckpointFactor(double checkpoint_factor) {
+  if (!(checkpoint_factor > 1.0)) {
+    std::fprintf(stderr,
+                 "Replay: checkpoint_factor must be > 1.0, got %f\n",
+                 checkpoint_factor);
+    std::abort();
+  }
+}
+
+// Shared geometric-checkpoint replay skeleton. `deliver_batch` pushes a
+// contiguous run of arrivals (element indices [begin, end)) in order;
 // `sample` returns the (estimate, truth) pair at the current time.
-template <typename DeliverFn, typename SampleFn>
-std::vector<Checkpoint> ReplayImpl(const Workload& workload,
-                                   double checkpoint_factor, DeliverFn deliver,
+//
+// The schedule matches the historical per-arrival loop exactly: a
+// checkpoint lands on the first n with n >= next, where next starts at 1
+// and becomes n * checkpoint_factor after each checkpoint. Batching just
+// delivers the arrivals between consecutive checkpoints in one call.
+template <typename DeliverBatchFn, typename SampleFn>
+std::vector<Checkpoint> ReplayImpl(uint64_t total, double checkpoint_factor,
+                                   DeliverBatchFn deliver_batch,
                                    SampleFn sample) {
-  if (checkpoint_factor <= 1.0) checkpoint_factor = 1.5;
+  CheckCheckpointFactor(checkpoint_factor);
   std::vector<Checkpoint> out;
   uint64_t n = 0;
   double next = 1.0;
-  for (const Arrival& a : workload) {
-    deliver(a);
-    ++n;
+  while (n < total) {
+    uint64_t target = static_cast<uint64_t>(std::ceil(next));
+    target = std::max(target, n + 1);
+    target = std::min(target, total);
+    deliver_batch(n, target);
+    n = target;
     if (static_cast<double>(n) >= next) {
       auto [est, truth] = sample();
       out.push_back(Checkpoint{n, est, truth});
@@ -38,10 +61,26 @@ std::vector<Checkpoint> ReplayCount(CountTrackerInterface* tracker,
                                     double checkpoint_factor) {
   uint64_t n = 0;
   return ReplayImpl(
-      workload, checkpoint_factor,
-      [&](const Arrival& a) {
-        tracker->Arrive(a.site);
-        ++n;
+      workload.size(), checkpoint_factor,
+      [&](uint64_t begin, uint64_t end) {
+        tracker->ArriveBatch(workload.data() + begin, end - begin);
+        n += end - begin;
+      },
+      [&]() {
+        return std::pair<double, double>(tracker->EstimateCount(),
+                                         static_cast<double>(n));
+      });
+}
+
+std::vector<Checkpoint> ReplayCountSites(CountTrackerInterface* tracker,
+                                         const SiteStream& sites,
+                                         double checkpoint_factor) {
+  uint64_t n = 0;
+  return ReplayImpl(
+      sites.size(), checkpoint_factor,
+      [&](uint64_t begin, uint64_t end) {
+        tracker->ArriveSites(sites.data() + begin, end - begin);
+        n += end - begin;
       },
       [&]() {
         return std::pair<double, double>(tracker->EstimateCount(),
@@ -55,10 +94,12 @@ std::vector<Checkpoint> ReplayFrequency(FrequencyTrackerInterface* tracker,
                                         double checkpoint_factor) {
   uint64_t freq = 0;
   return ReplayImpl(
-      workload, checkpoint_factor,
-      [&](const Arrival& a) {
-        tracker->Arrive(a.site, a.key);
-        if (a.key == query_item) ++freq;
+      workload.size(), checkpoint_factor,
+      [&](uint64_t begin, uint64_t end) {
+        tracker->ArriveBatch(workload.data() + begin, end - begin);
+        for (uint64_t i = begin; i < end; ++i) {
+          if (workload[i].key == query_item) ++freq;
+        }
       },
       [&]() {
         return std::pair<double, double>(tracker->EstimateFrequency(query_item),
@@ -72,10 +113,12 @@ std::vector<Checkpoint> ReplayRank(RankTrackerInterface* tracker,
                                    double checkpoint_factor) {
   uint64_t rank = 0;
   return ReplayImpl(
-      workload, checkpoint_factor,
-      [&](const Arrival& a) {
-        tracker->Arrive(a.site, a.key);
-        if (a.key < query_value) ++rank;
+      workload.size(), checkpoint_factor,
+      [&](uint64_t begin, uint64_t end) {
+        tracker->ArriveBatch(workload.data() + begin, end - begin);
+        for (uint64_t i = begin; i < end; ++i) {
+          if (workload[i].key < query_value) ++rank;
+        }
       },
       [&]() {
         return std::pair<double, double>(tracker->EstimateRank(query_value),

@@ -14,15 +14,14 @@
 namespace disttrack {
 namespace sim {
 
-/// One stream arrival: an element (item id or value, unused for counting)
-/// delivered to a site.
-struct Arrival {
-  int site = 0;
-  uint64_t key = 0;
-};
-
-/// A full recorded input: the adversary's arrival sequence.
+/// A full recorded input: the adversary's arrival sequence. (The Arrival
+/// struct itself lives in protocol.h next to the ArriveBatch interface.)
 using Workload = std::vector<Arrival>;
+
+/// A count-only recorded input: arrivals carry no key, so the compact
+/// 2-byte site id per element is the natural record (8x less memory
+/// traffic than Workload when replaying the count fast path).
+using SiteStream = std::vector<uint16_t>;
 
 /// Estimate-vs-truth sample taken mid-replay.
 struct Checkpoint {
@@ -34,9 +33,21 @@ struct Checkpoint {
 /// Replays a count workload, sampling EstimateCount() every time n grows by
 /// `checkpoint_factor` (>1) past the previous checkpoint, and once at the
 /// end. Returns the checkpoints in order.
+///
+/// Arrivals between checkpoints are delivered through ArriveBatch, so a
+/// tracker pays one virtual dispatch per checkpoint interval, not per
+/// element. All Replay* drivers abort with a diagnostic if
+/// `checkpoint_factor` <= 1.0 (such a schedule would checkpoint after
+/// every element forever; the old behavior of silently substituting 1.5
+/// masked caller bugs).
 std::vector<Checkpoint> ReplayCount(CountTrackerInterface* tracker,
                                     const Workload& workload,
                                     double checkpoint_factor = 1.5);
+
+/// ReplayCount over a compact site stream (delivered via ArriveSites).
+std::vector<Checkpoint> ReplayCountSites(CountTrackerInterface* tracker,
+                                         const SiteStream& sites,
+                                         double checkpoint_factor = 1.5);
 
 /// Replays a frequency workload, sampling EstimateFrequency(query_item) on
 /// the same geometric schedule.

@@ -1,6 +1,8 @@
 #include "disttrack/stream/workload.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 #include "disttrack/stream/zipf.h"
 
@@ -40,6 +42,24 @@ sim::Workload MakeCountWorkload(int k, uint64_t n, SiteSchedule schedule,
     w.push_back({ScheduleSite(schedule, t, n, k, &rng), 0});
   }
   return w;
+}
+
+sim::SiteStream MakeCountSites(int k, uint64_t n, SiteSchedule schedule,
+                               uint64_t seed) {
+  if (k < 1 || k > 65535) {
+    // A larger k would silently alias sites mod 2^16; fail loudly instead.
+    std::fprintf(stderr, "MakeCountSites: k must be in [1, 65535], got %d\n",
+                 k);
+    std::abort();
+  }
+  Rng rng(seed);
+  sim::SiteStream sites;
+  sites.reserve(n);
+  for (uint64_t t = 0; t < n; ++t) {
+    sites.push_back(
+        static_cast<uint16_t>(ScheduleSite(schedule, t, n, k, &rng)));
+  }
+  return sites;
 }
 
 sim::Workload MakeFrequencyWorkload(int k, uint64_t n, SiteSchedule schedule,

@@ -46,6 +46,12 @@ int ScheduleSite(SiteSchedule schedule, uint64_t t, uint64_t n, int k,
 sim::Workload MakeCountWorkload(int k, uint64_t n, SiteSchedule schedule,
                                 uint64_t seed);
 
+/// Compact count workload: the same site sequence MakeCountWorkload(k, n,
+/// schedule, seed) produces, as a 2-byte-per-element site stream (the
+/// count replay fast path's native record). Requires k < 65536.
+sim::SiteStream MakeCountSites(int k, uint64_t n, SiteSchedule schedule,
+                               uint64_t seed);
+
 /// Frequency workload: n arrivals; items Zipf(alpha) over `universe`.
 sim::Workload MakeFrequencyWorkload(int k, uint64_t n, SiteSchedule schedule,
                                     uint64_t universe, double zipf_alpha,

@@ -224,6 +224,68 @@ TEST(ReplayTest, RankTruthMatchesExactTracker) {
   EXPECT_DOUBLE_EQ(checkpoints.back().truth, 100.0);
 }
 
+TEST(ReplayDeathTest, RejectsCheckpointFactorAtMostOne) {
+  // The old behavior silently substituted 1.5; a bad factor now aborts
+  // with a diagnostic instead of masking the caller's bug.
+  ExactCountTracker tracker;
+  Workload w{{0, 0}, {0, 0}};
+  EXPECT_DEATH(ReplayCount(&tracker, w, 1.0), "checkpoint_factor");
+  EXPECT_DEATH(ReplayCount(&tracker, w, 0.5), "checkpoint_factor");
+  ExactRankTracker rank_tracker;
+  EXPECT_DEATH(ReplayRank(&rank_tracker, w, 1, -2.0), "checkpoint_factor");
+}
+
+TEST(ReplayTest, BatchedScheduleMatchesHistoricalPerArrivalSchedule) {
+  // The pre-batching loop checkpointed at n = 1, 2, 3, 5, 8, 12, ... for
+  // factor 1.5 (first n with n >= next, next = 1 then 1.5 * n). The
+  // batched driver must reproduce that schedule exactly.
+  ExactCountTracker tracker;
+  Workload w(40);
+  auto checkpoints = ReplayCount(&tracker, w, 1.5);
+  std::vector<uint64_t> ns;
+  for (const auto& c : checkpoints) ns.push_back(c.n);
+  std::vector<uint64_t> expected{1, 2, 3, 5, 8, 12, 18, 27, 40};
+  EXPECT_EQ(ns, expected);
+}
+
+TEST(ArriveBatchTest, DefaultImplementationDeliversEveryElementInOrder) {
+  // A tracker that only overrides Arrive() must still see each batched
+  // arrival exactly once via the interface's default ArriveBatch.
+  ExactFrequencyTracker tracker;
+  Workload w;
+  for (uint64_t i = 0; i < 57; ++i) {
+    w.push_back({static_cast<int>(i % 3), i % 5});
+  }
+  tracker.ArriveBatch(w.data(), w.size());
+  EXPECT_EQ(tracker.TrueCount(), 57u);
+  EXPECT_DOUBLE_EQ(tracker.EstimateFrequency(0), 12.0);
+}
+
+TEST(ArriveBatchTest, DefaultArriveSitesDeliversEveryElement) {
+  ExactCountTracker tracker;
+  SiteStream sites{0, 0, 0, 0, 0};
+  tracker.ArriveSites(sites.data(), sites.size());
+  EXPECT_EQ(tracker.TrueCount(), 5u);
+  EXPECT_DOUBLE_EQ(tracker.EstimateCount(), 5.0);
+}
+
+TEST(ReplayTest, SiteStreamReplayMatchesWorkloadReplay) {
+  ExactCountTracker a, b;
+  Workload w;
+  SiteStream sites;
+  for (uint64_t i = 0; i < 300; ++i) {
+    w.push_back({static_cast<int>(i % 4), 0});
+    sites.push_back(static_cast<uint16_t>(i % 4));
+  }
+  auto cw = ReplayCount(&a, w, 1.5);
+  auto cs = ReplayCountSites(&b, sites, 1.5);
+  ASSERT_EQ(cw.size(), cs.size());
+  for (size_t i = 0; i < cw.size(); ++i) {
+    EXPECT_EQ(cw[i].n, cs[i].n);
+    EXPECT_DOUBLE_EQ(cw[i].estimate, cs[i].estimate);
+  }
+}
+
 }  // namespace
 }  // namespace sim
 }  // namespace disttrack

@@ -1,0 +1,224 @@
+// Tests for the geometric-skip sampling primitives: Rng::BernoulliPow2 /
+// GeometricFailuresPow2 and the SkipSampler, including the exactness
+// property the trackers rely on — the skip-sampled success process is
+// identical in distribution to per-arrival Bernoulli coins, before and
+// across a p change.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "disttrack/common/random.h"
+#include "disttrack/common/skip_sampler.h"
+
+namespace disttrack {
+namespace {
+
+// One-degree-of-freedom chi-squared statistic for `successes` hits out of
+// `draws` at success probability p.
+double ChiSquared1(uint64_t successes, uint64_t draws, double p) {
+  double expect_hit = static_cast<double>(draws) * p;
+  double expect_miss = static_cast<double>(draws) * (1.0 - p);
+  double hit = static_cast<double>(successes);
+  double miss = static_cast<double>(draws - successes);
+  double chi = 0;
+  if (expect_hit > 0) chi += (hit - expect_hit) * (hit - expect_hit) / expect_hit;
+  if (expect_miss > 0) {
+    chi += (miss - expect_miss) * (miss - expect_miss) / expect_miss;
+  }
+  return chi;
+}
+
+// chi^2(1 dof) stays below 15.1 with probability 1 - 1e-4; the seeds are
+// fixed, so these are deterministic regression bounds, not flaky gates.
+constexpr double kChi1Bound = 15.1;
+
+TEST(BernoulliPow2Test, DegenerateLevels) {
+  Rng rng(101);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(rng.BernoulliPow2(0));
+    EXPECT_TRUE(rng.BernoulliPow2(-3));
+  }
+}
+
+TEST(BernoulliPow2Test, MatchesPow2ProbabilityChiSquared) {
+  const int kDraws = 1 << 19;
+  for (int j = 1; j <= 6; ++j) {
+    Rng rng(200 + static_cast<uint64_t>(j));
+    uint64_t hits = 0;
+    for (int i = 0; i < kDraws; ++i) {
+      if (rng.BernoulliPow2(j)) ++hits;
+    }
+    EXPECT_LT(ChiSquared1(hits, kDraws, std::ldexp(1.0, -j)), kChi1Bound)
+        << "j=" << j << " hits=" << hits;
+  }
+}
+
+TEST(BernoulliPow2Test, AgreesWithNaiveBernoulliInDistribution) {
+  // Same p through both APIs; the two empirical rates must agree within a
+  // two-sample z-bound (5 sigma on fixed seeds).
+  const int kDraws = 1 << 19;
+  for (int j = 1; j <= 5; ++j) {
+    double p = std::ldexp(1.0, -j);
+    Rng a(300 + static_cast<uint64_t>(j)), b(400 + static_cast<uint64_t>(j));
+    uint64_t hits_pow2 = 0, hits_naive = 0;
+    for (int i = 0; i < kDraws; ++i) {
+      if (a.BernoulliPow2(j)) ++hits_pow2;
+      if (b.Bernoulli(p)) ++hits_naive;
+    }
+    double diff = (static_cast<double>(hits_pow2) -
+                   static_cast<double>(hits_naive)) /
+                  kDraws;
+    double sigma = std::sqrt(2.0 * p * (1.0 - p) / kDraws);
+    EXPECT_LT(std::fabs(diff), 5.0 * sigma) << "j=" << j;
+  }
+}
+
+TEST(BernoulliPow2Test, VeryLargeLevelIsEffectivelyNever) {
+  Rng rng(55);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.BernoulliPow2(63));
+  }
+}
+
+TEST(GeometricFailuresPow2Test, MeanMatchesClosedForm) {
+  Rng rng(77);
+  for (int j : {1, 3, 6}) {
+    const int kDraws = 200000 >> j;
+    double sum = 0;
+    for (int i = 0; i < kDraws; ++i) {
+      sum += static_cast<double>(rng.GeometricFailuresPow2(j));
+    }
+    // Mean failures = (1-p)/p = 2^j - 1.
+    double mean = std::ldexp(1.0, j) - 1.0;
+    double sd = std::sqrt((1.0 - std::ldexp(1.0, -j)) /
+                          std::pow(std::ldexp(1.0, -j), 2) / kDraws);
+    EXPECT_NEAR(sum / kDraws, mean, 5.0 * sd) << "j=" << j;
+  }
+}
+
+TEST(GeometricFailuresPow2Test, LevelZeroAlwaysSucceedsImmediately) {
+  Rng rng(78);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.GeometricFailuresPow2(0), 0u);
+}
+
+TEST(SkipSamplerTest, PEqualsOneSucceedsEveryArrival) {
+  Rng rng(500);
+  SkipSampler sampler;
+  sampler.ResetPow2(0, &rng);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(sampler.Next(&rng));
+  sampler.Reset(1.0, &rng);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(sampler.Next(&rng));
+}
+
+TEST(SkipSamplerTest, SuccessRateMatchesPerArrivalCoins) {
+  // The same number of arrivals through the skip sampler and through
+  // per-arrival BernoulliPow2 must show statistically identical success
+  // counts — the heart of the fast-path exactness claim.
+  const int kArrivals = 1 << 20;
+  for (int j : {2, 5, 8}) {
+    Rng a(600 + static_cast<uint64_t>(j)), b(700 + static_cast<uint64_t>(j));
+    SkipSampler sampler;
+    sampler.ResetPow2(j, &a);
+    uint64_t skip_hits = 0, coin_hits = 0;
+    for (int i = 0; i < kArrivals; ++i) {
+      if (sampler.Next(&a)) ++skip_hits;
+      if (b.BernoulliPow2(j)) ++coin_hits;
+    }
+    double p = std::ldexp(1.0, -j);
+    EXPECT_LT(ChiSquared1(skip_hits, kArrivals, p), kChi1Bound) << "j=" << j;
+    double sigma = std::sqrt(2.0 * p * (1.0 - p) * kArrivals);
+    EXPECT_LT(std::fabs(static_cast<double>(skip_hits) -
+                        static_cast<double>(coin_hits)),
+              5.0 * sigma)
+        << "j=" << j;
+  }
+}
+
+TEST(SkipSamplerTest, GapsAreGeometric) {
+  // Chi-squared over the first few gap buckets against the Geometric(p)
+  // pmf P(gap = g) = (1-p)^g p.
+  const int j = 3;
+  const double p = std::ldexp(1.0, -j);
+  Rng rng(801);
+  SkipSampler sampler;
+  sampler.ResetPow2(j, &rng);
+  const int kSuccesses = 200000;
+  const int kBuckets = 16;  // gaps 0..14 plus overflow
+  std::vector<uint64_t> observed(kBuckets, 0);
+  uint64_t gap = 0;
+  int collected = 0;
+  while (collected < kSuccesses) {
+    if (sampler.Next(&rng)) {
+      ++observed[std::min<uint64_t>(gap, kBuckets - 1)];
+      gap = 0;
+      ++collected;
+    } else {
+      ++gap;
+    }
+  }
+  double chi = 0;
+  double tail = 1.0;
+  for (int g = 0; g < kBuckets - 1; ++g) {
+    double prob = std::pow(1.0 - p, g) * p;
+    tail -= prob;
+    double expect = kSuccesses * prob;
+    double diff = static_cast<double>(observed[g]) - expect;
+    chi += diff * diff / expect;
+  }
+  double expect_tail = kSuccesses * tail;
+  double diff = static_cast<double>(observed[kBuckets - 1]) - expect_tail;
+  chi += diff * diff / expect_tail;
+  // 15 dof: P(chi > 45) ~ 7e-5 on a fixed seed.
+  EXPECT_LT(chi, 45.0);
+}
+
+TEST(SkipSamplerTest, RedrawOnPChangeMatchesBothRates) {
+  // p halves (j: 3 -> 4) mid-stream; each segment's success rate must
+  // match its own p — the redraw-on-broadcast contract of the trackers.
+  const int kPerSegment = 1 << 19;
+  Rng rng(901);
+  SkipSampler sampler;
+  sampler.ResetPow2(3, &rng);
+  uint64_t hits_a = 0, hits_b = 0;
+  for (int i = 0; i < kPerSegment; ++i) {
+    if (sampler.Next(&rng)) ++hits_a;
+  }
+  sampler.ResetPow2(4, &rng);  // the p-halving redraw
+  for (int i = 0; i < kPerSegment; ++i) {
+    if (sampler.Next(&rng)) ++hits_b;
+  }
+  EXPECT_LT(ChiSquared1(hits_a, kPerSegment, std::ldexp(1.0, -3)),
+            kChi1Bound);
+  EXPECT_LT(ChiSquared1(hits_b, kPerSegment, std::ldexp(1.0, -4)),
+            kChi1Bound);
+}
+
+TEST(SkipSamplerTest, GeneralPModeMatchesRate) {
+  const double p = 0.013;  // not a power of two (the rank tracker's case)
+  Rng rng(1001);
+  SkipSampler sampler;
+  sampler.Reset(p, &rng);
+  const int kArrivals = 1 << 20;
+  uint64_t hits = 0;
+  for (int i = 0; i < kArrivals; ++i) {
+    if (sampler.Next(&rng)) ++hits;
+  }
+  EXPECT_LT(ChiSquared1(hits, kArrivals, p), kChi1Bound);
+}
+
+TEST(SkipSamplerTest, ConsumeFailuresRetiresSkipsExactly) {
+  Rng rng(1101);
+  SkipSampler sampler;
+  sampler.ResetPow2(6, &rng);
+  while (sampler.pending_skips() < 4) sampler.ResetPow2(6, &rng);
+  uint64_t pending = sampler.pending_skips();
+  sampler.ConsumeFailures(pending - 1);
+  EXPECT_EQ(sampler.pending_skips(), 1u);
+  EXPECT_FALSE(sampler.Next(&rng));  // the one remaining failure
+  EXPECT_TRUE(sampler.Next(&rng));   // then the success
+}
+
+}  // namespace
+}  // namespace disttrack

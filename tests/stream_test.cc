@@ -94,6 +94,21 @@ TEST(WorkloadTest, PlantedFrequenciesAreExact) {
   EXPECT_EQ(ExactFrequency(w, 3), 25u);
 }
 
+TEST(WorkloadTest, CountSitesMatchesCountWorkloadSequence) {
+  // MakeCountSites must reproduce the exact site sequence of
+  // MakeCountWorkload for the same (k, n, schedule, seed).
+  for (auto schedule : {SiteSchedule::kRoundRobin,
+                        SiteSchedule::kUniformRandom,
+                        SiteSchedule::kSkewedGeometric}) {
+    auto w = MakeCountWorkload(12, 5000, schedule, 77);
+    auto sites = MakeCountSites(12, 5000, schedule, 77);
+    ASSERT_EQ(w.size(), sites.size());
+    for (size_t i = 0; i < w.size(); ++i) {
+      ASSERT_EQ(static_cast<uint16_t>(w[i].site), sites[i]) << i;
+    }
+  }
+}
+
 TEST(WorkloadTest, RankWorkloadStaysInUniverse) {
   auto w = MakeRankWorkload(4, 1000, SiteSchedule::kUniformRandom,
                             ValueOrder::kUniformRandom, 10, 13);
