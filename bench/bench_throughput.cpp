@@ -6,6 +6,13 @@
 // Writes BENCH_throughput.json (machine-readable trajectory for later PRs)
 // and prints a human table.
 //
+// --check=PATH turns the run into a regression gate: every (problem,
+// path, workload, k, n) configuration measured by this run is compared
+// against the matching entry of the baseline JSON at PATH, and the
+// process exits nonzero if any tracker lost more than 20% throughput.
+// CI runs this against the committed BENCH_throughput.json; run it at the
+// default sizes, since entries are matched on n as well.
+//
 // The count A/B replays the identical site stream through both engines:
 //  * per_arrival — a faithful copy of the pre-fast-path ReplayImpl loop
 //    (one virtual Arrive() per element, per-element checkpoint
@@ -213,6 +220,109 @@ uint64_t FlagOr(int argc, char** argv, const char* name, uint64_t fallback) {
   return fallback;
 }
 
+const char* StringFlagOr(int argc, char** argv, const char* name,
+                         const char* fallback) {
+  size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return fallback;
+}
+
+// ------------------------------------------------- --check regression gate
+
+constexpr double kCheckTolerance = 0.20;  // fail below 80% of baseline
+
+struct BaselineEntry {
+  char problem[16];
+  char path[16];
+  char workload[16];
+  int k = 0;
+  unsigned long long n = 0;
+  double elements_per_sec = 0;
+};
+
+// Parses the `runs` lines of a BENCH_throughput.json produced by
+// WriteJson (one object per line; sscanf on our own fixed format).
+std::vector<BaselineEntry> ReadBaseline(const char* json_path) {
+  std::vector<BaselineEntry> out;
+  std::FILE* f = std::fopen(json_path, "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "--check: cannot open baseline %s\n", json_path);
+    std::exit(1);
+  }
+  char line[512];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    BaselineEntry e;
+    double eps = 0, seconds = 0;
+    if (std::sscanf(line,
+                    " {\"problem\": \"%15[^\"]\", \"path\": \"%15[^\"]\", "
+                    "\"workload\": \"%15[^\"]\", \"k\": %d, \"n\": %llu, "
+                    "\"eps\": %lf, \"seconds\": %lf, "
+                    "\"elements_per_sec\": %lf",
+                    e.problem, e.path, e.workload, &e.k, &e.n, &eps,
+                    &seconds, &e.elements_per_sec) == 8) {
+      out.push_back(e);
+    }
+  }
+  std::fclose(f);
+  return out;
+}
+
+// Returns the number of configurations that regressed >20% vs `baseline`
+// (and -1-like failure when nothing was comparable, which would make the
+// gate vacuous).
+int CheckAgainstBaseline(const std::vector<BenchEntry>& entries,
+                         const char* baseline_path) {
+  std::vector<BaselineEntry> baseline = ReadBaseline(baseline_path);
+  if (baseline.empty()) {
+    std::fprintf(stderr, "--check: no entries parsed from %s\n",
+                 baseline_path);
+    return 1;
+  }
+  int failures = 0;
+  int compared = 0;
+  for (const BenchEntry& e : entries) {
+    const BaselineEntry* match = nullptr;
+    for (const BaselineEntry& b : baseline) {
+      if (e.problem == b.problem && e.path == b.path &&
+          e.workload == b.workload && e.k == b.k &&
+          e.n == static_cast<uint64_t>(b.n)) {
+        match = &b;
+        break;
+      }
+    }
+    if (match == nullptr) continue;
+    ++compared;
+    double ratio = match->elements_per_sec > 0
+                       ? e.elements_per_sec / match->elements_per_sec
+                       : 0.0;
+    bool regressed = ratio < 1.0 - kCheckTolerance;
+    std::printf("check  %-10s %-12s %-13s k=%-3d %12.0f vs %12.0f elem/s "
+                "(x%.2f)%s\n",
+                e.problem.c_str(), e.path.c_str(), e.workload.c_str(), e.k,
+                e.elements_per_sec, match->elements_per_sec, ratio,
+                regressed ? "  REGRESSION" : "");
+    if (regressed) ++failures;
+  }
+  if (compared == 0) {
+    std::fprintf(stderr,
+                 "--check: no configuration of this run matches %s "
+                 "(run at the baseline's sizes)\n",
+                 baseline_path);
+    return 1;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "--check: %d configuration(s) regressed more than %.0f%% "
+                 "vs %s\n",
+                 failures, kCheckTolerance * 100, baseline_path);
+  }
+  return failures > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -336,5 +446,8 @@ int main(int argc, char** argv) {
                 speedup >= 5.0 ? "[>=5x OK]" : "[below 5x target]");
   }
   std::printf("wrote %s\n", json_path);
+  if (const char* baseline = StringFlagOr(argc, argv, "--check", nullptr)) {
+    return CheckAgainstBaseline(entries, baseline);
+  }
   return 0;
 }

@@ -1,0 +1,91 @@
+// Per-site event countdowns: the shared scaffolding of the batched
+// delivery engines (count, frequency, rank).
+//
+// While a batch is in flight, each site carries a countdown to its next
+// *event* — whichever comes soonest of a coarse-tracker report, a
+// skip-sampler coin success, a virtual-site split, or a leaf/chunk
+// boundary, depending on the protocol. Eventless arrivals cost one
+// 32-bit decrement; the deferred per-site state (exact counts, consumed
+// coin failures, coarse advances) is reconciled lazily:
+//
+//  * when the countdown hits zero (TakeEventPrefix: the stride's
+//    eventless prefix is retired in bulk, then the event arrival is
+//    processed through the exact scalar path);
+//  * when a broadcast fires mid-batch (Outstanding/Reconcile per site:
+//    a new p invalidates scheduled coin successes, so every site's
+//    consumed-but-unreconciled arrivals must be flushed first);
+//  * at batch end.
+//
+// The countdown stores 32-bit values so the whole array stays within a
+// couple of cache lines; Arm() clamps a larger true gap, which just
+// schedules a harmless early reconciliation (the slow path re-derives
+// every event from authoritative state, so an "event" arrival that turns
+// out to be eventless is still processed exactly).
+
+#ifndef DISTTRACK_COMMON_EVENT_COUNTDOWN_H_
+#define DISTTRACK_COMMON_EVENT_COUNTDOWN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace disttrack {
+
+/// Countdown-to-next-event state for `k` sites. The owner drives the hot
+/// loop through until() directly (one decrement per arrival) and calls
+/// back into Arm/TakeEventPrefix/Reconcile at event and sync points.
+class EventCountdown {
+ public:
+  void Resize(int num_sites) {
+    until_.assign(static_cast<size_t>(num_sites), 0);
+    stride_.assign(static_cast<size_t>(num_sites), 0);
+  }
+
+  /// Arms `site` with the gap (in arrivals, >= 1) to its next event,
+  /// clamped to 32 bits.
+  void Arm(int site, uint64_t gap) {
+    uint32_t armed = static_cast<uint32_t>(
+        std::min<uint64_t>(gap, std::numeric_limits<uint32_t>::max()));
+    stride_[static_cast<size_t>(site)] = armed;
+    until_[static_cast<size_t>(site)] = armed;
+  }
+
+  /// Arrivals consumed at `site` since it was last armed/reconciled —
+  /// all eventless, none yet reflected in the owner's authoritative state.
+  uint64_t Outstanding(int site) const {
+    size_t i = static_cast<size_t>(site);
+    return stride_[i] - until_[i];
+  }
+
+  /// Marks the outstanding arrivals of `site` reconciled (the owner has
+  /// just retired them into its authoritative state).
+  void Reconcile(int site) {
+    size_t i = static_cast<size_t>(site);
+    stride_[i] = until_[i];
+  }
+
+  /// The countdown of `site` just hit zero: returns the length of the
+  /// stride's eventless prefix (stride - 1; the final arrival is the
+  /// event) and zeroes the pair, so a broadcast fired while the event
+  /// arrival is being processed sees nothing outstanding here.
+  uint64_t TakeEventPrefix(int site) {
+    size_t i = static_cast<size_t>(site);
+    uint64_t prefix = stride_[i] - 1;
+    stride_[i] = 0;
+    until_[i] = 0;
+    return prefix;
+  }
+
+  /// Raw countdown array for the hot loop: `--until()[site] == 0` tests
+  /// whether this arrival is the armed event.
+  uint32_t* until() { return until_.data(); }
+
+ private:
+  std::vector<uint32_t> until_;   // arrivals at site i before its next event
+  std::vector<uint32_t> stride_;  // value until_[i] was last armed with
+};
+
+}  // namespace disttrack
+
+#endif  // DISTTRACK_COMMON_EVENT_COUNTDOWN_H_

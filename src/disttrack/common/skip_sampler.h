@@ -20,12 +20,17 @@
 // thinning the old skip, is also exact but costs the same RNG work for
 // more code; we redraw.
 //
-// The skip counter is itself drawn by O(1) inversion (Rng::
-// GeometricFailures), so re-arming on a broadcast is cheap.
+// The skip counter is itself drawn by O(1) inversion, so re-arming on a
+// broadcast is cheap. The sampler caches 1/log(1-p) at Reset time, so a
+// redraw costs one uniform, one log, and one multiply — the same
+// inversion Rng::GeometricFailures performs, minus its per-draw log1p
+// and division (identical in distribution; the ulp-level floor
+// difference between a/b and a*(1/b) is far below any observable bias).
 
 #ifndef DISTTRACK_COMMON_SKIP_SAMPLER_H_
 #define DISTTRACK_COMMON_SKIP_SAMPLER_H_
 
+#include <cmath>
 #include <cstdint>
 
 #include "disttrack/common/random.h"
@@ -40,17 +45,21 @@ class SkipSampler {
   /// Arms the sampler for success probability 2^-log2_inv_p (the paper's
   /// p = 1/⌊·⌋₂ coins). Discards any outstanding skip.
   void ResetPow2(int log2_inv_p, Rng* rng) {
-    pow2_ = true;
-    log2_inv_p_ = log2_inv_p > 0 ? log2_inv_p : 0;
-    skip_ = rng->GeometricFailuresPow2(log2_inv_p_);
+    if (log2_inv_p <= 0) {
+      inv_log_ = 0.0;  // p = 1: every draw is an immediate success
+    } else if (log2_inv_p >= 64) {
+      inv_log_ = 1.0 / std::log1p(-std::ldexp(1.0, -log2_inv_p));
+    } else {
+      inv_log_ = InvLog1mPow2Table()[log2_inv_p];
+    }
+    skip_ = Draw(rng);
   }
 
   /// Arms the sampler for a general success probability p in (0, 1].
   /// Discards any outstanding skip.
   void Reset(double p, Rng* rng) {
-    pow2_ = false;
-    p_ = p;
-    skip_ = rng->GeometricFailures(p);
+    inv_log_ = p >= 1.0 ? 0.0 : 1.0 / std::log1p(-p);
+    skip_ = Draw(rng);
   }
 
   /// Consumes one arrival's coin: true iff this arrival is a success.
@@ -60,8 +69,7 @@ class SkipSampler {
       --skip_;
       return false;
     }
-    skip_ = pow2_ ? rng->GeometricFailuresPow2(log2_inv_p_)
-                  : rng->GeometricFailures(p_);
+    skip_ = Draw(rng);
     return true;
   }
 
@@ -74,10 +82,30 @@ class SkipSampler {
   uint64_t pending_skips() const { return skip_; }
 
  private:
+  // Geometric(p) failures-before-success by inversion:
+  // floor(log(U) / log(1-p)) for U ~ Uniform(0, 1].
+  uint64_t Draw(Rng* rng) {
+    if (inv_log_ == 0.0) return 0;  // p = 1
+    double u = 1.0 - rng->NextDouble();  // in (0, 1]
+    double draw = std::floor(std::log(u) * inv_log_);
+    return draw < 0 ? 0 : static_cast<uint64_t>(draw);
+  }
+
+  // 1 / log(1 - 2^-j) for j in [0, 64]; entry 0 is unused (p = 1).
+  static const double* InvLog1mPow2Table() {
+    static const double* table = [] {
+      static double t[65];
+      t[0] = 0.0;
+      for (int j = 1; j <= 64; ++j) {
+        t[j] = 1.0 / std::log1p(-std::ldexp(1.0, -j));
+      }
+      return t;
+    }();
+    return table;
+  }
+
   uint64_t skip_ = 0;
-  int log2_inv_p_ = 0;  // pow2 mode: success probability 2^-log2_inv_p_
-  double p_ = 1.0;      // general mode: success probability
-  bool pow2_ = true;
+  double inv_log_ = 0.0;  // 1/log(1-p); 0 encodes p = 1
 };
 
 }  // namespace disttrack

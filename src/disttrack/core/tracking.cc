@@ -129,6 +129,7 @@ Status MakeOneFrequency(Algorithm algorithm, const TrackerOptions& options,
       o.naive_boundary_estimator = options.naive_boundary_estimator;
       o.virtual_site_split = options.virtual_site_split;
       o.use_skip_sampling = options.use_skip_sampling;
+      o.use_flat_counters = options.use_flat_counters;
       if (Status s = o.Validate(); !s.ok()) return s;
       *out = std::make_unique<frequency::RandomizedFrequencyTracker>(o);
       return Status::OK();
@@ -167,6 +168,7 @@ Status MakeOneRank(Algorithm algorithm, const TrackerOptions& options,
       o.seed = seed;
       o.confidence_factor = ConfidenceOr(options, kDefaultRankConfidence);
       o.use_skip_sampling = options.use_skip_sampling;
+      o.use_batch_compaction = options.use_batch_compaction;
       if (Status s = o.Validate(); !s.ok()) return s;
       *out = std::make_unique<rank::RandomizedRankTracker>(o);
       return Status::OK();

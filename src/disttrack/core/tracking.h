@@ -59,6 +59,20 @@ struct TrackerOptions {
   /// kept for A/B benchmarking (bench_throughput) and equivalence tests.
   bool use_skip_sampling = true;
 
+  /// When true (default) the randomized frequency tracker stores each
+  /// site's sticky counter list in a flat open-addressing table
+  /// (frequency/counter_table.h); false keeps the historical
+  /// std::unordered_map store. Estimates are unaffected either way (the
+  /// store holds no randomness); kept for A/B benchmarking.
+  bool use_flat_counters = true;
+
+  /// When true (default) the randomized rank tracker feeds batched
+  /// arrivals to its compactor tree via CompactorSummary::InsertBatch —
+  /// equivalent in distribution (same mean-zero ±2^level martingale, see
+  /// summaries/compactor_summary.h), not bit-identical. False keeps the
+  /// per-element feed for A/B benchmarking and exact-equivalence tests.
+  bool use_batch_compaction = true;
+
   Status Validate() const;
 };
 

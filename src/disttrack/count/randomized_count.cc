@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 
 #include "disttrack/common/math_util.h"
 
@@ -41,8 +40,7 @@ RandomizedCountTracker::RandomizedCountTracker(
   coarse_->AddObserver([this](uint64_t round, uint64_t n_bar) {
     OnBroadcast(round, n_bar);
   });
-  until_.resize(sites_.size(), 0);
-  stride_.resize(sites_.size(), 0);
+  countdown_.Resize(options_.num_sites);
 }
 
 uint64_t RandomizedCountTracker::InvPFor(uint64_t n_bar) const {
@@ -129,15 +127,8 @@ void RandomizedCountTracker::Arrive(int site) { ArriveOne(site); }
 
 void RandomizedCountTracker::RearmSite(int site) {
   SiteState& s = sites_[static_cast<size_t>(site)];
-  uint64_t gap = std::min(coarse_->arrivals_until_report(site),
-                          s.skip.pending_skips() + 1);
-  // Clamp to 32 bits: an early "event" whose arrival turns out to be
-  // eventless is handled correctly by HandleEventArrival, whose coarse
-  // Arrive and coin Next are exact per-arrival operations either way.
-  uint32_t armed = static_cast<uint32_t>(
-      std::min<uint64_t>(gap, std::numeric_limits<uint32_t>::max()));
-  stride_[static_cast<size_t>(site)] = armed;
-  until_[static_cast<size_t>(site)] = armed;
+  countdown_.Arm(site, std::min(coarse_->arrivals_until_report(site),
+                                s.skip.pending_skips() + 1));
 }
 
 void RandomizedCountTracker::RearmAll() {
@@ -161,9 +152,8 @@ void RandomizedCountTracker::SyncEventless(int site, uint64_t consumed) {
 // coin gaps of the old p) and at batch end.
 void RandomizedCountTracker::ResyncAllMidBatch() {
   for (int i = 0; i < options_.num_sites; ++i) {
-    size_t idx = static_cast<size_t>(i);
-    uint64_t consumed = stride_[idx] - until_[idx];
-    stride_[idx] = until_[idx];  // consumed arrivals are now reconciled
+    uint64_t consumed = countdown_.Outstanding(i);
+    countdown_.Reconcile(i);
     SyncEventless(i, consumed);
   }
 }
@@ -173,14 +163,11 @@ void RandomizedCountTracker::ResyncAllMidBatch() {
 // would — coarse first (a broadcast here redraws skips before the coin is
 // consumed), then the coin.
 void RandomizedCountTracker::HandleEventArrival(int site) {
-  size_t idx = static_cast<size_t>(site);
-  uint64_t prefix = stride_[idx] - 1;
-  // Mark the site fully reconciled before touching coarse: if this arrival
-  // broadcasts, ResyncAllMidBatch must see zero outstanding arrivals here.
-  stride_[idx] = 0;
-  until_[idx] = 0;
-  SyncEventless(site, prefix);
-  SiteState& s = sites_[idx];
+  // TakeEventPrefix marks the site fully reconciled before coarse is
+  // touched: if this arrival broadcasts, ResyncAllMidBatch must see zero
+  // outstanding arrivals here.
+  SyncEventless(site, countdown_.TakeEventPrefix(site));
+  SiteState& s = sites_[static_cast<size_t>(site)];
   ++s.count;
   coarse_->Arrive(site);
   if (s.skip.Next(&s.rng)) Report(site);
@@ -198,7 +185,7 @@ void RandomizedCountTracker::ArriveBatch(const sim::Arrival* arrivals,
   n_ += count;
   in_batch_ = true;
   RearmAll();
-  uint32_t* until = until_.data();
+  uint32_t* until = countdown_.until();
   for (size_t i = 0; i < count; ++i) {
     int site = arrivals[i].site;
     if (--until[site] == 0) HandleEventArrival(site);
@@ -216,7 +203,7 @@ void RandomizedCountTracker::ArriveSites(const uint16_t* sites,
   n_ += count;
   in_batch_ = true;
   RearmAll();
-  uint32_t* until = until_.data();
+  uint32_t* until = countdown_.until();
   for (size_t i = 0; i < count; ++i) {
     unsigned site = sites[i];
     if (--until[site] == 0) HandleEventArrival(static_cast<int>(site));

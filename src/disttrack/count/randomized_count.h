@@ -34,6 +34,7 @@
 #include <memory>
 #include <vector>
 
+#include "disttrack/common/event_countdown.h"
 #include "disttrack/common/random.h"
 #include "disttrack/common/skip_sampler.h"
 #include "disttrack/common/status.h"
@@ -97,16 +98,13 @@ class RandomizedCountTracker : public sim::CountTrackerInterface {
   void Report(int site);
 
   // --- Batched fast path -------------------------------------------------
-  // While a batch is in flight, each site carries a countdown to its next
-  // *event* — a coarse-tracker report or a skip-sampler coin success;
-  // whichever is sooner. Eventless arrivals cost one decrement; the
-  // deferred per-site state (exact count, coarse count, consumed coin
-  // failures) is reconciled when the countdown hits zero, when a broadcast
-  // fires mid-batch (a new p invalidates scheduled coin successes), and at
-  // batch end. Events fire at exactly the arrival indices where the scalar
-  // path would fire them, and the RNG draw sequence is unchanged, so the
-  // batch path is bit-identical to per-element Arrive() with skip sampling
-  // (tested in skip_equivalence_test).
+  // The shared EventCountdown engine (common/event_countdown.h): each site
+  // counts down to its next event — a coarse-tracker report or a
+  // skip-sampler coin success, whichever is sooner. Events fire at exactly
+  // the arrival indices where the scalar path would fire them, and the RNG
+  // draw sequence is unchanged, so the batch path is bit-identical to
+  // per-element Arrive() with skip sampling (tested in
+  // skip_equivalence_test and batch_equivalence_test).
   void RearmSite(int site);
   void RearmAll();
   void SyncEventless(int site, uint64_t consumed);
@@ -134,12 +132,8 @@ class RandomizedCountTracker : public sim::CountTrackerInterface {
   uint64_t reported_count_ = 0; // |{i : n̄_i exists}|
   uint64_t n_ = 0;              // ground truth (harness-side)
 
-  // Batch fast-path countdowns (meaningful only while in_batch_). 32-bit
-  // so the whole array stays in one or two cache lines; RearmSite clamps a
-  // larger true gap, which just schedules a harmless early reconciliation
-  // (the slow path re-derives every event from authoritative state).
-  std::vector<uint32_t> until_;   // arrivals at site i before its next event
-  std::vector<uint32_t> stride_;  // value until_[i] was last armed with
+  // Batch fast-path countdowns (meaningful only while in_batch_).
+  EventCountdown countdown_;
   bool in_batch_ = false;
 };
 

@@ -1,0 +1,160 @@
+// Flat open-addressing counter store for the sticky counter lists L_i of
+// §3.1: a power-of-two-capacity linear-probing table of (item, count)
+// pairs with epoch-tagged slots and a one-byte control mirror.
+//
+// The frequency hot path does one lookup per arrival (tracked items
+// increment their counter; untracked items miss), inserts only on a
+// counter-creation coin success (probability p), and bulk-clears at every
+// round boundary and virtual-site split — it never erases an individual
+// key. That access mix makes the classic tombstone problem of open
+// addressing disappear: Clear() bumps the epoch, turning every live slot
+// back into an empty one without touching it, and the linear-probe
+// invariant ("a live chain is never interrupted by an empty slot") holds
+// within each epoch because nothing is ever deleted inside one.
+//
+// Probes are served by the control mirror: ctrl_[i] is 0 when slot i is
+// empty in the current epoch, else a 7-bit fingerprint of the occupant's
+// hash (high bit set so it is never 0). A miss — the overwhelmingly
+// common case, since only ~c/(ε√k) items are tracked per site — costs a
+// multiply and one byte load instead of a 24-byte slot inspection; the
+// payload slot is read only on a fingerprint match. The mirror is the
+// epoch's materialization at one byte per slot: Clear() zeroes it with a
+// memset, which the n̄/k split threshold amortizes to well under a byte
+// per arrival, while the payload slots keep their epoch tags (authorita-
+// tive liveness, consulted on fingerprint matches and during growth).
+//
+// Slots carry the full 64-bit key, so 0 and UINT64_MAX are ordinary keys
+// (occupancy is decided by the epoch tag and control byte, not a sentinel
+// key). Probing starts from a Fibonacci hash of the key (multiply by the
+// 64-bit golden ratio, keep the top bits), which scatters adjacent item
+// ids — the common case in Zipf workloads — across the table.
+
+#ifndef DISTTRACK_FREQUENCY_COUNTER_TABLE_H_
+#define DISTTRACK_FREQUENCY_COUNTER_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace disttrack {
+namespace frequency {
+
+/// Open-addressing uint64 -> uint64 counter map with bulk Clear().
+/// Grows at 1/2 load (linear-probe miss chains stay ~1.5 probes); never
+/// shrinks (the per-round population is capped near p * n_bar / k by the
+/// virtual-site split, so capacity stabilizes).
+class CounterTable {
+ public:
+  CounterTable() { Rebuild(kMinCapacity); }
+
+  /// Pointer to the live counter of `key`, or nullptr if untracked.
+  /// The pointer is valid until the next Insert() or Clear().
+  uint64_t* Find(uint64_t key) {
+    uint64_t h = Mix(key);
+    size_t idx = h >> shift_;
+    uint8_t fp = Fingerprint(h);
+    for (;;) {
+      uint8_t c = ctrl_[idx];
+      if (c == 0) return nullptr;
+      if (c == fp) {
+        Slot& slot = slots_[idx];
+        if (slot.key == key && slot.epoch == epoch_) return &slot.value;
+      }
+      idx = (idx + 1) & mask_;
+    }
+  }
+
+  const uint64_t* Find(uint64_t key) const {
+    return const_cast<CounterTable*>(this)->Find(key);
+  }
+
+  /// ++counter of `key` iff it is tracked — the eventless-arrival path.
+  void IncrementIfTracked(uint64_t key) {
+    if (uint64_t* value = Find(key)) ++*value;
+  }
+
+  /// Starts tracking `key` at `value`. `key` must not be live (callers
+  /// only insert after a Find() miss).
+  void Insert(uint64_t key, uint64_t value) {
+    if (size_ + 1 > slots_.size() / 2) Grow();
+    uint64_t h = Mix(key);
+    size_t idx = h >> shift_;
+    while (ctrl_[idx] != 0) idx = (idx + 1) & mask_;
+    ctrl_[idx] = Fingerprint(h);
+    slots_[idx] = Slot{key, value, epoch_};
+    ++size_;
+  }
+
+  /// Drops every counter (round boundary / virtual-site split): the epoch
+  /// advance empties all payload slots at once; the control mirror is
+  /// re-zeroed at a byte per slot. Capacity is retained.
+  void Clear() {
+    ++epoch_;
+    std::memset(ctrl_.data(), 0, ctrl_.size());
+    size_ = 0;
+  }
+
+  /// Live counters in the current epoch.
+  size_t size() const { return size_; }
+
+  size_t capacity() const { return slots_.size(); }
+
+  /// Current epoch (diagnostics/tests; advances on every Clear()).
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    uint64_t value = 0;
+    uint64_t epoch = 0;  // live iff == table epoch (which starts at 1)
+  };
+
+  static constexpr size_t kMinCapacity = 16;
+
+  static uint64_t Mix(uint64_t key) {
+    return key * 0x9E3779B97F4A7C15ull;
+  }
+
+  // 7 hash bits immediately below the index bits currently in use (the
+  // index keeps the top 64 - shift_ bits), high bit set so occupied != 0.
+  // Taking them relative to shift_ keeps the fingerprint independent of
+  // the home bucket at every capacity — same-bucket key collisions stay
+  // rejectable by the one-byte mirror.
+  uint8_t Fingerprint(uint64_t h) const {
+    return static_cast<uint8_t>((h >> (shift_ - 8)) | 0x80u);
+  }
+
+  void Rebuild(size_t capacity) {
+    slots_.assign(capacity, Slot{});
+    ctrl_.assign(capacity, 0);
+    mask_ = capacity - 1;
+    shift_ = 64;
+    while ((size_t{1} << (64 - shift_)) < capacity) --shift_;
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    Rebuild(old.size() * 2);
+    for (const Slot& slot : old) {
+      if (slot.epoch != epoch_) continue;  // stale epochs stay behind
+      uint64_t h = Mix(slot.key);
+      size_t idx = h >> shift_;
+      while (ctrl_[idx] != 0) idx = (idx + 1) & mask_;
+      ctrl_[idx] = Fingerprint(h);
+      slots_[idx] = slot;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<uint8_t> ctrl_;  // 0 = empty this epoch, else fingerprint
+  size_t mask_ = 0;
+  int shift_ = 64;       // IndexFor keeps the top log2(capacity) bits
+  size_t size_ = 0;      // live slots in the current epoch
+  uint64_t epoch_ = 1;   // fresh slots (epoch 0) read as empty
+};
+
+}  // namespace frequency
+}  // namespace disttrack
+
+#endif  // DISTTRACK_FREQUENCY_COUNTER_TABLE_H_

@@ -41,6 +41,7 @@ RandomizedFrequencyTracker::RandomizedFrequencyTracker(
   coarse_->AddObserver([this](uint64_t round, uint64_t n_bar) {
     OnBroadcast(round, n_bar);
   });
+  countdown_.Resize(options_.num_sites);
 }
 
 uint64_t RandomizedFrequencyTracker::InvPFor(uint64_t n_bar) const {
@@ -54,27 +55,65 @@ uint64_t RandomizedFrequencyTracker::InvPFor(uint64_t n_bar) const {
 double RandomizedFrequencyTracker::LiveEstimate(const ItemAgg& agg) const {
   double inv_p = static_cast<double>(inv_p_);
   double est = 0;
-  for (const auto& [instance, cbar] : agg.cbar) {
-    est += static_cast<double>(cbar) - 2.0 + 2.0 * inv_p;
-  }
-  if (!options_.naive_boundary_estimator) {
-    for (const auto& [instance, d] : agg.d_no_counter) {
-      est -= static_cast<double>(d) * inv_p;
+  for (const InstanceAgg& inst : agg.instances) {
+    if (inst.cbar > 0) {
+      est += static_cast<double>(inst.cbar) - 2.0 + 2.0 * inv_p;
+    } else if (!options_.naive_boundary_estimator) {
+      est -= static_cast<double>(inst.d) * inv_p;
     }
   }
   return est;
 }
 
-void RandomizedFrequencyTracker::FoldRound() {
-  for (const auto& [item, agg] : live_) {
-    double est = LiveEstimate(agg);
-    if (est != 0.0) frozen_[item] += est;
+RandomizedFrequencyTracker::ItemAgg& RandomizedFrequencyTracker::LiveAgg(
+    uint64_t item) {
+  if (uint64_t* slot = live_index_.Find(item)) {
+    return live_arena_[static_cast<size_t>(*slot - 1)];
   }
-  live_.clear();
+  if (live_used_ == live_arena_.size()) live_arena_.emplace_back();
+  ItemAgg& agg = live_arena_[live_used_];
+  agg.item = item;
+  live_index_.Insert(item, static_cast<uint64_t>(++live_used_));
+  return agg;
+}
+
+const RandomizedFrequencyTracker::ItemAgg*
+RandomizedFrequencyTracker::FindLiveAgg(uint64_t item) const {
+  const uint64_t* slot = live_index_.Find(item);
+  if (slot == nullptr) return nullptr;
+  return &live_arena_[static_cast<size_t>(*slot - 1)];
+}
+
+void RandomizedFrequencyTracker::FoldRound() {
+  for (size_t i = 0; i < live_used_; ++i) {
+    ItemAgg& agg = live_arena_[i];
+    double est = LiveEstimate(agg);
+    if (est != 0.0) frozen_[agg.item] += est;
+    agg.instances.clear();  // recycle the arena entry's allocation
+  }
+  live_used_ = 0;
+  live_index_.Clear();
+}
+
+size_t RandomizedFrequencyTracker::CounterCount(const SiteState& s) const {
+  return options_.use_flat_counters ? s.counters.size()
+                                    : s.legacy_counters.size();
+}
+
+void RandomizedFrequencyTracker::ClearCounters(SiteState* s) {
+  if (options_.use_flat_counters) {
+    s->counters.Clear();
+  } else {
+    s->legacy_counters.clear();
+  }
 }
 
 void RandomizedFrequencyTracker::OnBroadcast(uint64_t /*round*/,
                                              uint64_t n_bar) {
+  // Mid-batch, the outstanding eventless arrivals belong to the closing
+  // round: flush them into the authoritative per-site state before the
+  // round ritual discards it.
+  if (in_batch_) ResyncAllMidBatch();
   // Freeze the completed round with its own p, then restart from scratch
   // with the new parameters (§3.1 "Dealing with a decreasing p").
   FoldRound();
@@ -84,7 +123,7 @@ void RandomizedFrequencyTracker::OnBroadcast(uint64_t /*round*/,
       1, n_bar / static_cast<uint64_t>(options_.num_sites));
   for (int i = 0; i < options_.num_sites; ++i) {
     SiteState& s = sites_[static_cast<size_t>(i)];
-    s.counters.clear();
+    ClearCounters(&s);
     s.round_arrivals = 0;
     s.instance = next_instance_++;
     if (options_.use_skip_sampling) {
@@ -95,18 +134,20 @@ void RandomizedFrequencyTracker::OnBroadcast(uint64_t /*round*/,
     }
     UpdateSpace(i);
   }
+  if (in_batch_) RearmAll();
 }
 
 void RandomizedFrequencyTracker::UpdateSpace(int site) {
   const SiteState& s = sites_[static_cast<size_t>(site)];
   // Counter list (item, value pairs) plus O(1) fixed state: instance id,
   // round arrival counter, 1/p copy, split threshold, and the two skip
-  // countdowns.
-  space_.Set(site, 2 * s.counters.size() + 6);
+  // countdowns. The flat table is charged at its live population — the
+  // algorithm's state — not its physical capacity.
+  space_.Set(site, 2 * CounterCount(s) + 6);
 }
 
-inline void RandomizedFrequencyTracker::ArriveOne(int site, uint64_t item) {
-  ++n_;
+inline void RandomizedFrequencyTracker::ProcessArrival(int site,
+                                                       uint64_t item) {
   coarse_->Arrive(site);
   SiteState& s = sites_[static_cast<size_t>(site)];
 
@@ -116,7 +157,7 @@ inline void RandomizedFrequencyTracker::ArriveOne(int site, uint64_t item) {
   if (options_.virtual_site_split &&
       s.round_arrivals >= split_threshold_) {
     meter_.RecordUpload(site, 1);  // split notification
-    s.counters.clear();
+    ClearCounters(&s);
     s.instance = next_instance_++;
     s.round_arrivals = 0;
     ++splits_;
@@ -138,43 +179,159 @@ inline void RandomizedFrequencyTracker::ArriveOne(int site, uint64_t item) {
     sample_hit = s.rng.Bernoulli(cur_p);
   }
 
-  // Counter-list channel. The find is only needed to route a hit and to
+  // Counter-list channel. The probe is only needed to route a hit and to
   // increment an existing counter; misses on untracked items touch no
   // coordinator state.
-  auto it = s.counters.find(item);
-  if (it != s.counters.end()) {
-    ++it->second;
+  uint64_t fresh_value = 0;
+  bool tracked;
+  if (options_.use_flat_counters) {
+    if (uint64_t* value = s.counters.Find(item)) {
+      tracked = true;
+      fresh_value = ++*value;
+    } else {
+      tracked = false;
+    }
+  } else {
+    auto it = s.legacy_counters.find(item);
+    tracked = it != s.legacy_counters.end();
+    if (tracked) fresh_value = ++it->second;
+  }
+  if (tracked) {
     if (counter_hit) {
       meter_.RecordUpload(site, 2);
-      live_[item].cbar[s.instance] = it->second;
+      LiveAgg(item).ForInstance(s.instance).cbar = fresh_value;
     }
   } else if (counter_hit) {
-    s.counters.emplace(item, 1);
+    if (options_.use_flat_counters) {
+      s.counters.Insert(item, 1);
+    } else {
+      s.legacy_counters.emplace(item, 1);
+    }
     meter_.RecordUpload(site, 2);
-    ItemAgg& agg = live_[item];
-    agg.cbar[s.instance] = 1;
-    agg.d_no_counter.erase(s.instance);  // d is superseded by the counter
+    // Setting cbar supersedes any sampled copies d of this instance: the
+    // estimator reads d only while cbar == 0.
+    LiveAgg(item).ForInstance(s.instance).cbar = 1;
     UpdateSpace(site);  // the counter set grew; splits/rounds handle shrink
   }
 
   // Independent simple-random-sampling channel (d_ij).
   if (sample_hit) {
     meter_.RecordUpload(site, 1);
-    ItemAgg& agg = live_[item];
-    if (agg.cbar.find(s.instance) == agg.cbar.end()) {
-      agg.d_no_counter[s.instance] += 1;
-    }
+    InstanceAgg& agg = LiveAgg(item).ForInstance(s.instance);
+    if (agg.cbar == 0) agg.d += 1;
   }
+}
+
+inline void RandomizedFrequencyTracker::ArriveOne(int site, uint64_t item) {
+  ++n_;
+  ProcessArrival(site, item);
 }
 
 void RandomizedFrequencyTracker::Arrive(int site, uint64_t item) {
   ArriveOne(site, item);
 }
 
+void RandomizedFrequencyTracker::RearmSite(int site) {
+  SiteState& s = sites_[static_cast<size_t>(site)];
+  // Next event: the sooner of the two skip channels' successes, the
+  // coarse-tracker report, and (when enabled) the virtual-site split.
+  uint64_t gap = std::min(coarse_->arrivals_until_report(site),
+                          std::min(s.counter_skip.pending_skips(),
+                                   s.sample_skip.pending_skips()) +
+                              1);
+  if (options_.virtual_site_split) {
+    // The split fires on the arrival that *begins* past the threshold, so
+    // the gap to it is one beyond the remaining headroom.
+    uint64_t split_gap = s.round_arrivals < split_threshold_
+                             ? split_threshold_ - s.round_arrivals + 1
+                             : 1;
+    gap = std::min(gap, split_gap);
+  }
+  countdown_.Arm(site, gap);
+}
+
+void RandomizedFrequencyTracker::RearmAll() {
+  for (int i = 0; i < options_.num_sites; ++i) RearmSite(i);
+}
+
+// Retires `consumed` arrivals at `site` that are known to be eventless:
+// round-arrival advances, coin failures on both channels, and plain coarse
+// count advances. By construction consumed is strictly below every event
+// gap, so neither a coin success, a split, nor a coarse report can fire
+// here. (Tracked-item counter increments happened inline at arrival time;
+// they carry no randomness and touch no coordinator state.)
+void RandomizedFrequencyTracker::SyncEventless(int site, uint64_t consumed) {
+  if (consumed == 0) return;
+  SiteState& s = sites_[static_cast<size_t>(site)];
+  s.round_arrivals += consumed;
+  s.counter_skip.ConsumeFailures(consumed);
+  s.sample_skip.ConsumeFailures(consumed);
+  coarse_->ArriveRun(site, consumed);
+}
+
+void RandomizedFrequencyTracker::ResyncAllMidBatch() {
+  for (int i = 0; i < options_.num_sites; ++i) {
+    uint64_t consumed = countdown_.Outstanding(i);
+    countdown_.Reconcile(i);
+    SyncEventless(i, consumed);
+  }
+}
+
+// The countdown for `site` hit zero: reconcile the eventless prefix of its
+// stride, then process the current arrival exactly as the scalar path
+// would — coarse first (a broadcast here redraws skips before the coins
+// are consumed), then the coins and store updates.
+void RandomizedFrequencyTracker::HandleEventArrival(int site, uint64_t item) {
+  SyncEventless(site, countdown_.TakeEventPrefix(site));
+  ProcessArrival(site, item);
+  RearmSite(site);
+}
+
+template <bool kFlat>
+void RandomizedFrequencyTracker::RunBatch(const sim::Arrival* arrivals,
+                                          size_t count) {
+  // Event-countdown engine: an eventless arrival costs one decrement plus
+  // one counter-store probe. n_ is advanced up front; nothing inside the
+  // batch reads it.
+  n_ += count;
+  in_batch_ = true;
+  RearmAll();
+  uint32_t* until = countdown_.until();
+  for (size_t i = 0; i < count; ++i) {
+    int site = arrivals[i].site;
+    uint64_t item = arrivals[i].key;
+    if (--until[site] == 0) {
+      HandleEventArrival(site, item);
+    } else {
+      // Tracked items must count every arrival; only reports are coin-
+      // gated, so the eventless path is probe + maybe-increment.
+      if constexpr (kFlat) {
+        sites_[static_cast<size_t>(site)].counters.IncrementIfTracked(item);
+      } else {
+        auto& store = sites_[static_cast<size_t>(site)].legacy_counters;
+        auto it = store.find(item);
+        if (it != store.end()) ++it->second;
+      }
+    }
+  }
+  ResyncAllMidBatch();
+  in_batch_ = false;
+}
+
 void RandomizedFrequencyTracker::ArriveBatch(const sim::Arrival* arrivals,
                                              size_t count) {
-  for (size_t i = 0; i < count; ++i) {
-    ArriveOne(arrivals[i].site, arrivals[i].key);
+  if (!options_.use_skip_sampling) {
+    // The historical coin path draws per arrival; there is no countdown to
+    // run, so batch delivery degenerates to the scalar loop.
+    for (size_t i = 0; i < count; ++i) {
+      ArriveOne(arrivals[i].site, arrivals[i].key);
+    }
+    return;
+  }
+  if (options_.use_flat_counters) {
+    RunBatch<true>(arrivals, count);
+  } else {
+    RunBatch<false>(arrivals, count);
   }
 }
 
@@ -182,8 +339,7 @@ double RandomizedFrequencyTracker::EstimateFrequency(uint64_t item) const {
   double est = 0;
   auto fit = frozen_.find(item);
   if (fit != frozen_.end()) est += fit->second;
-  auto lit = live_.find(item);
-  if (lit != live_.end()) est += LiveEstimate(lit->second);
+  if (const ItemAgg* agg = FindLiveAgg(item)) est += LiveEstimate(*agg);
   return est;
 }
 

@@ -20,6 +20,18 @@
 // Note the second branch: when no counter exists the *negative* sampled
 // count corrects the boundary bias of the naive estimator (2), which the
 // `naive_boundary_estimator` ablation reinstates.
+//
+// Hot path: the sticky counter list is a flat open-addressing table
+// (counter_table.h) — one Fibonacci-hash probe per arrival instead of an
+// unordered_map find — and batched delivery runs on the shared
+// EventCountdown engine: between events (coin successes on either
+// channel, coarse reports, virtual-site splits) an arrival costs one
+// countdown decrement plus the table probe, with the two skip channels,
+// the round-arrival counter, and the coarse tracker reconciled in bulk at
+// each event. Both fast paths keep their historical counterparts
+// reachable (`use_skip_sampling`, `use_flat_counters`) for A/B runs; the
+// batch engine consumes the RNG exactly as per-element Arrive() does, so
+// batch-vs-scalar is bit-identical (batch_equivalence_test).
 
 #ifndef DISTTRACK_FREQUENCY_RANDOMIZED_FREQUENCY_H_
 #define DISTTRACK_FREQUENCY_RANDOMIZED_FREQUENCY_H_
@@ -29,10 +41,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "disttrack/common/event_countdown.h"
 #include "disttrack/common/random.h"
 #include "disttrack/common/skip_sampler.h"
 #include "disttrack/common/status.h"
 #include "disttrack/count/coarse_tracker.h"
+#include "disttrack/frequency/counter_table.h"
 #include "disttrack/sim/protocol.h"
 
 namespace disttrack {
@@ -58,8 +72,15 @@ struct RandomizedFrequencyOptions {
   /// When true (default), the two per-arrival Bernoulli(p) coins (counter
   /// channel and sampling channel) are realized by two geometric
   /// SkipSamplers per site — identical in distribution, redrawn on every
-  /// round broadcast. False selects the historical per-arrival coin path.
+  /// round broadcast — and ArriveBatch runs the event-countdown engine.
+  /// False selects the historical per-arrival coin path.
   bool use_skip_sampling = true;
+
+  /// When true (default), each site's sticky counter list is the flat
+  /// open-addressing CounterTable; false keeps the historical
+  /// std::unordered_map store for A/B runs. The store holds no
+  /// randomness, so the choice never changes estimates.
+  bool use_flat_counters = true;
 
   Status Validate() const;
 };
@@ -89,7 +110,8 @@ class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface {
   struct SiteState {
     uint64_t instance = 0;  // current virtual-site id (globally unique)
     uint64_t round_arrivals = 0;
-    std::unordered_map<uint64_t, uint64_t> counters;  // L_i
+    CounterTable counters;  // L_i (use_flat_counters, the default)
+    std::unordered_map<uint64_t, uint64_t> legacy_counters;  // A/B store
     // One skip channel per independent per-arrival coin: the counter
     // channel (create-or-re-report) and the sampling channel (d_ij).
     SkipSampler counter_skip;
@@ -97,20 +119,56 @@ class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface {
     Rng rng{0};
   };
 
-  // Coordinator-side per-(round,item) aggregation.
+  // Coordinator-side per-(round,item) aggregation. An item is touched by
+  // very few instances per round (a handful of sites/virtual sites win a
+  // coin for it), so the per-instance state is a short vector with linear
+  // scans rather than the two hash tables a map-of-maps would cost on
+  // every newly sampled item. ItemAggs live in a pooled arena indexed by
+  // a CounterTable (item -> arena slot) that is bulk-cleared at round
+  // boundaries with the arena recycled, so a steady-state round performs
+  // no coordinator-side allocation at all.
+  struct InstanceAgg {
+    uint64_t instance = 0;
+    uint64_t cbar = 0;  // last reported counter value; 0 = no counter yet
+                        // (reports are always >= 1, so 0 is unambiguous)
+    uint64_t d = 0;     // sampled copies, used only while cbar == 0
+  };
   struct ItemAgg {
-    // instance -> last reported counter value c̄.
-    std::unordered_map<uint64_t, uint64_t> cbar;
-    // instance -> sampled copies d (kept only while no counter exists).
-    std::unordered_map<uint64_t, uint64_t> d_no_counter;
+    uint64_t item = 0;
+    std::vector<InstanceAgg> instances;
+
+    InstanceAgg& ForInstance(uint64_t instance) {
+      for (InstanceAgg& agg : instances) {
+        if (agg.instance == instance) return agg;
+      }
+      instances.push_back(InstanceAgg{instance, 0, 0});
+      return instances.back();
+    }
   };
 
   void OnBroadcast(uint64_t round, uint64_t n_bar);
   void FoldRound();
+  ItemAgg& LiveAgg(uint64_t item);
+  const ItemAgg* FindLiveAgg(uint64_t item) const;
   double LiveEstimate(const ItemAgg& agg) const;
   uint64_t InvPFor(uint64_t n_bar) const;
   void UpdateSpace(int site);
   void ArriveOne(int site, uint64_t item);
+  // Everything ArriveOne does except ++n_ (the batch engine advances n_
+  // up front): coarse arrival, split check, coins, store updates.
+  void ProcessArrival(int site, uint64_t item);
+  size_t CounterCount(const SiteState& s) const;
+  void ClearCounters(SiteState* s);
+
+  // Batched fast path on the shared EventCountdown engine; see
+  // common/event_countdown.h for the reconciliation contract.
+  template <bool kFlat>
+  void RunBatch(const sim::Arrival* arrivals, size_t count);
+  void RearmSite(int site);
+  void RearmAll();
+  void SyncEventless(int site, uint64_t consumed);
+  void HandleEventArrival(int site, uint64_t item);
+  void ResyncAllMidBatch();
 
   RandomizedFrequencyOptions options_;
   sim::CommMeter meter_;
@@ -118,7 +176,11 @@ class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface {
   std::unique_ptr<count::CoarseTracker> coarse_;
   std::vector<SiteState> sites_;
 
-  std::unordered_map<uint64_t, ItemAgg> live_;   // current round
+  // Current round: item -> (arena slot + 1) in live_index_; the arena
+  // entries [0, live_used_) are this round's ItemAggs.
+  CounterTable live_index_;
+  std::vector<ItemAgg> live_arena_;
+  size_t live_used_ = 0;
   std::unordered_map<uint64_t, double> frozen_;  // completed rounds
 
   uint64_t inv_p_ = 1;
@@ -127,6 +189,9 @@ class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface {
   uint64_t next_instance_ = 0;
   uint64_t splits_ = 0;
   uint64_t n_ = 0;
+
+  EventCountdown countdown_;
+  bool in_batch_ = false;
 };
 
 }  // namespace frequency

@@ -38,6 +38,7 @@ RandomizedRankTracker::RandomizedRankTracker(
   coarse_->AddObserver([this](uint64_t round, uint64_t n_bar) {
     OnBroadcast(round, n_bar);
   });
+  countdown_.Resize(options_.num_sites);
 }
 
 double RandomizedRankTracker::LevelEps(int level) const {
@@ -57,13 +58,43 @@ void RandomizedRankTracker::RecomputeRoundParams(uint64_t n_bar) {
   height_ = CeilLog2(num_leaves_);
 }
 
+std::unique_ptr<summaries::CompactorSummary> RandomizedRankTracker::
+    AcquireNode(SiteState* s, int level) {
+  uint64_t seed = s->rng.NextU64();
+  auto& pool = s->pool[static_cast<size_t>(level)];
+  if (!pool.empty()) {
+    auto node = std::move(pool.back());
+    pool.pop_back();
+    node->Reset(seed);
+    return node;
+  }
+  return std::make_unique<summaries::CompactorSummary>(LevelEps(level), seed);
+}
+
 void RandomizedRankTracker::StartFreshInstance(SiteState* s) {
   s->instance = next_instance_++;
   s->arrivals_in_chunk = 0;
   s->arrivals_in_leaf = 0;
   s->current_leaf = 0;
-  s->nodes.clear();
-  s->nodes.resize(static_cast<size_t>(height_) + 1);
+  size_t levels = static_cast<size_t>(height_) + 1;
+  if (s->pool.size() != levels) {
+    // The round's tree shape changed, and with it LevelEps and every
+    // summary capacity: pooled nodes are the wrong size, drop them.
+    s->pool.clear();
+    s->pool.resize(levels);
+    s->nodes.clear();
+  } else {
+    // Recycle still-active node objects — their contents are already
+    // covered (shipped summaries / frozen residuals) and Reset() empties
+    // them on reuse.
+    for (size_t l = 0; l < s->nodes.size(); ++l) {
+      if (s->nodes[l] != nullptr) {
+        s->pool[l].push_back(std::move(s->nodes[l]));
+      }
+    }
+    s->nodes.clear();
+  }
+  s->nodes.resize(levels);
   instances_[s->instance].inv_p = inv_p_;
   if (options_.use_skip_sampling) {
     // Rounds change p, which invalidates outstanding skips; chunk
@@ -74,6 +105,11 @@ void RandomizedRankTracker::StartFreshInstance(SiteState* s) {
 }
 
 void RandomizedRankTracker::OnBroadcast(uint64_t /*round*/, uint64_t n_bar) {
+  // Mid-batch, every site's buffered eventless run belongs to the closing
+  // round: feed it into the current nodes (which the restart below then
+  // discards, exactly as the scalar path discards mid-leaf state — those
+  // arrivals stay covered by the frozen residual samples).
+  if (in_batch_) ResyncAllMidBatch();
   // Completed leaves of the closing round are already covered by shipped
   // summaries, and the in-progress tails stay covered by their frozen
   // residual samples; sites just restart with fresh parameters.
@@ -82,14 +118,16 @@ void RandomizedRankTracker::OnBroadcast(uint64_t /*round*/, uint64_t n_bar) {
     StartFreshInstance(&sites_[static_cast<size_t>(i)]);
     UpdateSpace(i);
   }
+  if (in_batch_) RearmAll();
 }
 
 void RandomizedRankTracker::FlushNode(int site, SiteState* s, int level,
                                       uint32_t node_start,
                                       uint32_t end_leaf) {
   auto& node = s->nodes[static_cast<size_t>(level)];
-  if (node == nullptr || node->m() == 0) {
-    node.reset();
+  if (node == nullptr) return;
+  if (node->m() == 0) {
+    s->pool[static_cast<size_t>(level)].push_back(std::move(node));
     return;
   }
   // Site -> coordinator: the serialized summary.
@@ -98,18 +136,9 @@ void RandomizedRankTracker::FlushNode(int site, SiteState* s, int level,
   StoredSummary stored;
   stored.first_leaf = node_start;
   stored.end_leaf = end_leaf;
-  auto items = node->Items();
-  std::sort(items.begin(), items.end());
-  stored.values.reserve(items.size());
-  stored.weight_prefix.reserve(items.size());
-  uint64_t acc = 0;
-  for (const auto& [value, weight] : items) {
-    stored.values.push_back(value);
-    acc += weight;
-    stored.weight_prefix.push_back(acc);
-  }
+  node->ExportLevels(&stored.values, &stored.segments);
   instances_[s->instance].summaries.push_back(std::move(stored));
-  node.reset();
+  s->pool[static_cast<size_t>(level)].push_back(std::move(node));
 }
 
 void RandomizedRankTracker::UpdateSpace(int site) {
@@ -121,20 +150,40 @@ void RandomizedRankTracker::UpdateSpace(int site) {
   space_.Set(site, words);
 }
 
-inline void RandomizedRankTracker::ArriveOne(int site, uint64_t value) {
-  ++n_;
+inline void RandomizedRankTracker::ProcessArrival(int site, uint64_t value) {
   coarse_->Arrive(site);
   SiteState& s = sites_[static_cast<size_t>(site)];
+
+  if (chunk_size_ == 1) {
+    // Degenerate early-round geometry (n̄ < ~2k): one leaf, one node, one
+    // element per instance. The tree would build the identical
+    // single-item summary at far higher cost; ship it directly. The
+    // tail-channel coin is still consumed (p = 1 here, so the forward
+    // always fires and its sample is immediately covered by the shipped
+    // summary — exactly what the node path's leaf-completion prune does).
+    bool fwd = options_.use_skip_sampling ? s.tail_skip.Next(&s.rng)
+                                          : s.rng.Bernoulli(1.0 / inv_p_);
+    if (fwd) meter_.RecordUpload(site, 2);
+    meter_.RecordUpload(site, 3);  // single-item summary: value + header
+    StoredSummary stored;
+    stored.first_leaf = 0;
+    stored.end_leaf = 1;
+    stored.values.push_back(value);
+    stored.segments.emplace_back(1, 1);
+    instances_[s.instance].summaries.push_back(std::move(stored));
+    StartFreshInstance(&s);
+    return;
+  }
 
   // Feed the active node at every level of algorithm C's tree.
   for (int level = 0; level <= height_; ++level) {
     auto& node = s.nodes[static_cast<size_t>(level)];
-    if (node == nullptr) {
-      node = std::make_unique<summaries::CompactorSummary>(LevelEps(level),
-                                                           s.rng.NextU64());
-    }
+    if (node == nullptr) node = AcquireNode(&s, level);
     node->Insert(value);
   }
+
+  bool completes_leaf = s.arrivals_in_leaf + 1 >= block_size_ ||
+                        s.arrivals_in_chunk + 1 >= chunk_size_;
 
   // In-progress tail channel: forward with probability p, tagged with the
   // leaf index.
@@ -143,8 +192,13 @@ inline void RandomizedRankTracker::ArriveOne(int site, uint64_t value) {
                      : s.rng.Bernoulli(1.0 / inv_p_);
   if (forward) {
     meter_.RecordUpload(site, 2);
-    instances_[s.instance].residuals.push_back(
-        ResidualSample{s.current_leaf, value});
+    // A sample of a leaf this very arrival completes would be dropped by
+    // the completion prune below before any estimate can read it; charge
+    // the upload but skip the vector churn.
+    if (!completes_leaf) {
+      instances_[s.instance].residuals.push_back(
+          ResidualSample{s.current_leaf, value});
+    }
   }
 
   ++s.arrivals_in_leaf;
@@ -165,7 +219,20 @@ inline void RandomizedRankTracker::ArriveOne(int site, uint64_t value) {
       uint32_t node_end = std::min<uint32_t>(
           node_start + (1u << level), num_leaves_);
       if (completed_end == node_end || chunk_done) {
-        FlushNode(site, &s, level, node_start, completed_end);
+        if (chunk_done && level < height_) {
+          // Every node completes at the chunk's last leaf, and the
+          // top-level summary (shipped below) covers the whole chunk —
+          // the coordinator would discard the lower summaries on arrival
+          // (see the dyadic-cover pruning after this loop), so don't
+          // build or ship them. The estimate is unchanged and the
+          // communication strictly drops.
+          auto& node = s.nodes[static_cast<size_t>(level)];
+          if (node != nullptr) {
+            s.pool[static_cast<size_t>(level)].push_back(std::move(node));
+          }
+        } else {
+          FlushNode(site, &s, level, node_start, completed_end);
+        }
       }
     }
     // Completed leaves are now covered by summaries: their tail samples
@@ -200,23 +267,120 @@ inline void RandomizedRankTracker::ArriveOne(int site, uint64_t value) {
   }
 }
 
+inline void RandomizedRankTracker::ArriveOne(int site, uint64_t value) {
+  ++n_;
+  ProcessArrival(site, value);
+}
+
 void RandomizedRankTracker::Arrive(int site, uint64_t value) {
   ArriveOne(site, value);
 }
 
+void RandomizedRankTracker::RearmSite(int site) {
+  SiteState& s = sites_[static_cast<size_t>(site)];
+  // Next event: the arrival that completes the current leaf (or chunk —
+  // its boundary coincides with a leaf boundary via leaf_done), the next
+  // tail-channel coin success, or the next coarse report.
+  uint64_t gap = std::min(block_size_ - s.arrivals_in_leaf,
+                          chunk_size_ - s.arrivals_in_chunk);
+  gap = std::min(gap, s.tail_skip.pending_skips() + 1);
+  gap = std::min(gap, coarse_->arrivals_until_report(site));
+  countdown_.Arm(site, gap);
+}
+
+void RandomizedRankTracker::RearmAll() {
+  for (int i = 0; i < options_.num_sites; ++i) RearmSite(i);
+}
+
+// Retires `count` buffered arrivals at `site` that are known to be
+// eventless: every active tree level absorbs the run in one InsertBatch,
+// the leaf/chunk counters advance, the tail coins are consumed failures,
+// and the coarse tracker advances in bulk. By construction count is
+// strictly below every event gap, so no leaf completes, no tail forward
+// fires, and no coarse report (hence no broadcast) can fire here.
+void RandomizedRankTracker::FeedRun(int site, uint64_t* values,
+                                    uint64_t count) {
+  if (count == 0) return;
+  SiteState& s = sites_[static_cast<size_t>(site)];
+  // Every level of the tree absorbs the same run, so sort it once, in
+  // place (the buffer is discarded right after), and let each summary
+  // stage it as a single pre-sorted segment instead of paying height+1
+  // independent sorts.
+  std::sort(values, values + count);
+  for (int level = 0; level <= height_; ++level) {
+    auto& node = s.nodes[static_cast<size_t>(level)];
+    if (node == nullptr) node = AcquireNode(&s, level);
+    node->InsertSortedBatch(values, static_cast<size_t>(count));
+  }
+  s.arrivals_in_leaf += count;
+  s.arrivals_in_chunk += count;
+  s.tail_skip.ConsumeFailures(count);
+  coarse_->ArriveRun(site, count);
+}
+
+void RandomizedRankTracker::ResyncAllMidBatch() {
+  for (int i = 0; i < options_.num_sites; ++i) {
+    uint64_t consumed = countdown_.Outstanding(i);
+    countdown_.Reconcile(i);
+    SiteState& s = sites_[static_cast<size_t>(i)];
+    FeedRun(i, s.run.data(), consumed);
+    s.run.clear();
+  }
+}
+
+// The countdown for `site` hit zero: its run buffer holds the stride's
+// eventless prefix plus the event arrival's value. Feed the prefix in
+// bulk, clear the buffer (a broadcast fired by the event arrival must see
+// nothing outstanding here), then process the event arrival exactly as
+// the scalar path would.
+void RandomizedRankTracker::HandleEventArrival(int site) {
+  uint64_t prefix = countdown_.TakeEventPrefix(site);
+  SiteState& s = sites_[static_cast<size_t>(site)];
+  uint64_t event_value = s.run.back();
+  FeedRun(site, s.run.data(), prefix);
+  s.run.clear();
+  ProcessArrival(site, event_value);
+  RearmSite(site);
+}
+
 void RandomizedRankTracker::ArriveBatch(const sim::Arrival* arrivals,
                                         size_t count) {
-  for (size_t i = 0; i < count; ++i) {
-    ArriveOne(arrivals[i].site, arrivals[i].key);
+  if (!options_.use_skip_sampling || !options_.use_batch_compaction) {
+    // Per-element feed: the historical path (and the only exact one when
+    // tail coins are drawn per arrival).
+    for (size_t i = 0; i < count; ++i) {
+      ArriveOne(arrivals[i].site, arrivals[i].key);
+    }
+    return;
   }
+  // Event-countdown engine: an eventless arrival costs one decrement plus
+  // one buffered value. n_ is advanced up front; nothing inside the batch
+  // reads it.
+  n_ += count;
+  in_batch_ = true;
+  RearmAll();
+  uint32_t* until = countdown_.until();
+  for (size_t i = 0; i < count; ++i) {
+    int site = arrivals[i].site;
+    sites_[static_cast<size_t>(site)].run.push_back(arrivals[i].key);
+    if (--until[site] == 0) HandleEventArrival(site);
+  }
+  ResyncAllMidBatch();
+  in_batch_ = false;
 }
 
 double RandomizedRankTracker::SummaryRankBelow(const StoredSummary& summary,
                                                uint64_t x) {
-  auto it = std::lower_bound(summary.values.begin(), summary.values.end(), x);
-  if (it == summary.values.begin()) return 0.0;
-  size_t idx = static_cast<size_t>(it - summary.values.begin());
-  return static_cast<double>(summary.weight_prefix[idx - 1]);
+  uint64_t below = 0;
+  uint32_t begin = 0;
+  for (const auto& [weight, end] : summary.segments) {
+    auto first = summary.values.begin() + begin;
+    auto last = summary.values.begin() + end;
+    below += weight * static_cast<uint64_t>(std::lower_bound(first, last, x) -
+                                            first);
+    begin = end;
+  }
+  return static_cast<double>(below);
 }
 
 double RandomizedRankTracker::EstimateRank(uint64_t value) const {

@@ -22,6 +22,17 @@
 // At a round boundary sites simply clear: completed leaves are already
 // covered by shipped summaries and the in-progress tail stays covered by
 // its frozen samples (scaled by that round's p), so no flush is needed.
+//
+// Hot path: ArriveBatch buffers each site's values and runs the shared
+// EventCountdown engine — between events (leaf/chunk boundaries, tail-
+// channel coin successes, coarse reports) a site's buffered run is fed to
+// every active tree level in one CompactorSummary::InsertBatch call per
+// level, with the tail skips and the coarse tracker reconciled in bulk.
+// Batched compaction performs fewer, larger compactions than per-element
+// Insert — identical unbiasedness and a strictly smaller variance bound
+// (see the DESIGN note in summaries/compactor_summary.h) — so the batch
+// path is equivalent in distribution, not bit-identical; the historical
+// per-element feed stays reachable via `use_batch_compaction = false`.
 
 #ifndef DISTTRACK_RANK_RANDOMIZED_RANK_H_
 #define DISTTRACK_RANK_RANDOMIZED_RANK_H_
@@ -31,6 +42,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "disttrack/common/event_countdown.h"
 #include "disttrack/common/random.h"
 #include "disttrack/common/skip_sampler.h"
 #include "disttrack/common/status.h"
@@ -57,6 +69,15 @@ struct RandomizedRankOptions {
   /// coin path. Note the rank p is not rounded to a power of two, so the
   /// sampler runs in general-p mode.
   bool use_skip_sampling = true;
+
+  /// When true (default), ArriveBatch feeds each site's eventless runs to
+  /// the compactor tree via CompactorSummary::InsertBatch (one call per
+  /// level per run) on the event-countdown engine. Equivalent in
+  /// distribution to the per-element feed — batched compaction's error
+  /// increments are the same mean-zero ±2^level martingale steps, just
+  /// fewer of them (DESIGN note in summaries/compactor_summary.h). False
+  /// keeps the historical per-element feed for A/B runs.
+  bool use_batch_compaction = true;
 
   Status Validate() const;
 };
@@ -85,13 +106,17 @@ class RandomizedRankTracker : public sim::RankTrackerInterface {
   uint64_t block_size() const { return block_size_; }
 
  private:
-  // A node summary shipped to the coordinator: sorted values with prefix
-  // weight sums for O(log) rank lookups.
+  // A node summary shipped to the coordinator: the compactor's levels as
+  // one flat value array partitioned into ascending segments by
+  // (weight, end offset) descriptors — one binary search per segment
+  // answers a rank query, and building it is a straight copy of the
+  // summary's already-sorted levels (no merge or comparison sort, two
+  // allocations total).
   struct StoredSummary {
     uint32_t first_leaf = 0;
     uint32_t end_leaf = 0;
-    std::vector<uint64_t> values;          // ascending
-    std::vector<uint64_t> weight_prefix;   // cumulative weights
+    std::vector<uint64_t> values;
+    std::vector<std::pair<uint64_t, uint32_t>> segments;
   };
 
   struct ResidualSample {
@@ -113,12 +138,38 @@ class RandomizedRankTracker : public sim::RankTrackerInterface {
     uint32_t current_leaf = 0;
     // nodes[l] is the active level-l node's summary (lazily created).
     std::vector<std::unique_ptr<summaries::CompactorSummary>> nodes;
+    // pool[l]: retired level-l summaries awaiting reuse. Tree nodes are
+    // short-lived (one per dyadic range per chunk), so recycling their
+    // buffer allocations takes node turnover off the hot path; pools are
+    // dropped whenever the round's tree height (and with it LevelEps)
+    // changes.
+    std::vector<std::vector<std::unique_ptr<summaries::CompactorSummary>>>
+        pool;
     SkipSampler tail_skip;  // gap to the next tail-channel forward
     Rng rng{0};
+    // Batch-engine run buffer: values delivered to this site since its
+    // last event/reconciliation, in arrival order (delivery-engine state,
+    // not protocol state — the values are the stream itself).
+    std::vector<uint64_t> run;
   };
 
   void OnBroadcast(uint64_t round, uint64_t n_bar);
   void ArriveOne(int site, uint64_t value);
+  // Everything ArriveOne does except ++n_ (the batch engine advances n_
+  // up front): coarse arrival, tree feed, tail coin, leaf bookkeeping.
+  void ProcessArrival(int site, uint64_t value);
+
+  // Batched fast path on the shared EventCountdown engine; see
+  // common/event_countdown.h for the reconciliation contract.
+  void RearmSite(int site);
+  void RearmAll();
+  // Feeds `count` buffered eventless values (sorted in place as a side
+  // effect; callers pass buffers they are about to discard).
+  void FeedRun(int site, uint64_t* values, uint64_t count);
+  void HandleEventArrival(int site);
+  void ResyncAllMidBatch();
+  std::unique_ptr<summaries::CompactorSummary> AcquireNode(SiteState* s,
+                                                           int level);
   void RecomputeRoundParams(uint64_t n_bar);
   void StartFreshInstance(SiteState* s);
   void FlushNode(int site, SiteState* s, int level, uint32_t node_start,
@@ -144,6 +195,9 @@ class RandomizedRankTracker : public sim::RankTrackerInterface {
 
   uint64_t next_instance_ = 0;
   uint64_t n_ = 0;
+
+  EventCountdown countdown_;
+  bool in_batch_ = false;
 };
 
 }  // namespace rank

@@ -24,31 +24,175 @@ size_t CapacityFor(double eps) {
 CompactorSummary::CompactorSummary(double eps, uint64_t seed)
     : eps_(eps), capacity_(CapacityFor(eps)), rng_(seed) {
   levels_.emplace_back();
+  sorted_.push_back(0);
+  seg_bounds_.emplace_back();
+  seg_dirty_.push_back(0);
 }
 
 void CompactorSummary::Insert(uint64_t value) {
   ++m_;
-  levels_[0].push_back(value);
+  auto& base = levels_[0];
+  size_t old = base.size();
+  base.push_back(value);  // staging tail; consolidated lazily
+  NoteAscendingAppend(0, old);
+  if (base.size() >= capacity_) Cascade();
+}
+
+void CompactorSummary::InsertBatch(const uint64_t* values, size_t count) {
+  if (count == 0) return;
+  m_ += count;
+  auto& base = levels_[0];
+  size_t old = base.size();
+  base.insert(base.end(), values, values + count);
+  if (count == 1) {
+    NoteAscendingAppend(0, old);
+  } else {
+    seg_dirty_[0] = 1;  // unordered contract; consolidation re-scans
+  }
+  if (base.size() >= capacity_) Cascade();
+}
+
+void CompactorSummary::InsertSortedBatch(const uint64_t* values,
+                                         size_t count) {
+  if (count == 0) return;
+  m_ += count;
+  auto& base = levels_[0];
+  size_t old = base.size();
+  base.insert(base.end(), values, values + count);
+  NoteAscendingAppend(0, old);
+  if (base.size() >= capacity_) Cascade();
+}
+
+void CompactorSummary::Cascade() {
+  // One pass: CompactLevel consumes the whole even prefix of a buffer, so
+  // a single compaction per level suffices however far past capacity the
+  // staged runs (or the promotions from below) pushed it.
   for (size_t level = 0; level < levels_.size(); ++level) {
     if (levels_[level].size() >= capacity_) CompactLevel(level);
   }
 }
 
+void CompactorSummary::NoteAscendingAppend(size_t level, size_t old_size) {
+  // Appending at the tail start, or continuing ascending order, extends
+  // the previous segment; otherwise a new segment starts at old_size.
+  auto& buf = levels_[level];
+  if (old_size > sorted_[level] && buf[old_size - 1] > buf[old_size]) {
+    seg_bounds_[level].push_back(old_size);
+  }
+}
+
+void CompactorSummary::EnsureSorted(size_t level) {
+  auto& buf = levels_[level];
+  if (sorted_[level] < buf.size()) {
+    SortTail(&buf, sorted_[level],
+             seg_dirty_[level] ? nullptr : &seg_bounds_[level]);
+    MergeSortedTail(&buf, sorted_[level]);
+    sorted_[level] = buf.size();
+  }
+  seg_bounds_[level].clear();
+  seg_dirty_[level] = 0;
+}
+
+void CompactorSummary::SortTail(std::vector<uint64_t>* buf, size_t from,
+                                const std::vector<size_t>* interior_bounds) {
+  size_t len = buf->size() - from;
+  uint64_t* tail = buf->data() + from;
+  auto& bounds = run_bounds_;
+  bounds.clear();
+  bounds.push_back(0);
+  if (interior_bounds != nullptr) {
+    // Boundaries were tracked at append time; no detection scan needed.
+    for (size_t b : *interior_bounds) bounds.push_back(b - from);
+  } else {
+    if (len < 8) {
+      // Below run-merge overhead; note even here the tail is usually a
+      // couple of sorted runs, which insertion sort handles in ~len moves.
+      std::sort(tail, tail + len);
+      return;
+    }
+    // Collect the tail's ascending-run boundaries (relative to the tail).
+    for (size_t i = 1; i < len; ++i) {
+      if (tail[i] < tail[i - 1]) bounds.push_back(i);
+    }
+  }
+  bounds.push_back(len);
+  if (bounds.size() == 2) return;  // single ascending run already
+  // Merge adjacent runs pairwise until one remains, ping-ponging between
+  // the tail and the scratch buffer — one move per element per pass, and
+  // only ~log2(#runs) passes since the staged batch runs arrive sorted.
+  if (merge_buf_.size() < len) merge_buf_.resize(len);
+  uint64_t* src = tail;
+  uint64_t* dst = merge_buf_.data();
+  while (bounds.size() > 2) {
+    size_t out = 0;
+    size_t r = 0;
+    for (; r + 2 < bounds.size(); r += 2) {
+      size_t lo = bounds[r], mid = bounds[r + 1], hi = bounds[r + 2];
+      std::merge(src + lo, src + mid, src + mid, src + hi, dst + lo);
+      bounds[++out] = hi;  // overwrite in place: bounds[0] stays 0
+    }
+    if (r + 1 < bounds.size()) {
+      // Odd run out: carry it to the destination buffer unmerged.
+      size_t lo = bounds[r], hi = bounds[r + 1];
+      std::copy(src + lo, src + hi, dst + lo);
+      bounds[++out] = hi;
+    }
+    bounds.resize(out + 1);
+    std::swap(src, dst);
+  }
+  if (src != tail) std::copy(src, src + len, tail);
+}
+
+void CompactorSummary::MergeSortedTail(std::vector<uint64_t>* buf,
+                                       size_t mid) {
+  if (mid == 0 || mid == buf->size()) return;
+  uint64_t* data = buf->data();
+  if (data[mid - 1] <= data[mid]) return;  // already in order
+  if (mid <= 2) {
+    // Tiny prefix — usually the post-compaction straggler: binary-insert
+    // each element (one memmove, no comparison pass over the tail).
+    for (size_t i = mid; i-- > 0;) {
+      uint64_t v = data[i];
+      uint64_t* pos = std::upper_bound(data + i + 1, data + buf->size(), v);
+      std::move(data + i + 1, pos, data + i);
+      *(pos - 1) = v;
+    }
+    return;
+  }
+  merge_buf_.resize(buf->size());
+  std::merge(buf->begin(), buf->begin() + static_cast<long>(mid),
+             buf->begin() + static_cast<long>(mid), buf->end(),
+             merge_buf_.begin());
+  buf->swap(merge_buf_);
+}
+
 void CompactorSummary::CompactLevel(size_t level) {
   // Grow the hierarchy first: emplace_back may reallocate `levels_`, so no
   // reference into it may be taken before this point.
-  if (levels_.size() <= level + 1) levels_.emplace_back();
+  if (levels_.size() <= level + 1) {
+    levels_.emplace_back();
+    sorted_.push_back(0);
+    seg_bounds_.emplace_back();
+    seg_dirty_.push_back(0);
+  }
+  EnsureSorted(level);
   auto& buf = levels_[level];
   // Compact an even prefix so total weight is conserved exactly; an odd
-  // straggler stays behind for the next compaction.
+  // straggler stays behind for the next compaction. The buffer was just
+  // consolidated, so promotion is a stride-2 pass whose output is itself
+  // sorted — it lands on the next level's staging tail as one more run,
+  // merged only when that level consolidates. Each element is fully
+  // sorted exactly once per level it passes through.
   size_t take = buf.size() & ~size_t{1};
   if (take < 2) return;
-  std::sort(buf.begin(), buf.begin() + static_cast<long>(take));
   size_t offset = rng_.Bernoulli(0.5) ? 1 : 0;
   auto& up = levels_[level + 1];
+  size_t up_old = up.size();
   for (size_t i = offset; i < take; i += 2) up.push_back(buf[i]);
-  // Keep any straggler (index >= take).
+  NoteAscendingAppend(level + 1, up_old);
+  // Keep any straggler (index >= take; at most one element).
   buf.erase(buf.begin(), buf.begin() + static_cast<long>(take));
+  sorted_[level] = buf.size();
 }
 
 double CompactorSummary::EstimateRank(uint64_t x) const {
@@ -76,6 +220,11 @@ uint64_t CompactorSummary::WeightTotal() const {
 }
 
 uint64_t CompactorSummary::Quantile(double phi) const {
+  // A summary can hold only weight-0 (empty) levels — freshly constructed,
+  // Clear()ed/Reset()ed, or merged from such summaries (MergeFrom resizes
+  // the level vector even when every source buffer is empty). Items() is
+  // then empty (stored weights are >= 1): answer 0 without searching any
+  // level.
   auto items = Items();
   if (items.empty()) return 0;
   std::sort(items.begin(), items.end());
@@ -93,11 +242,19 @@ void CompactorSummary::MergeFrom(const CompactorSummary& other) {
   m_ += other.m_;
   if (levels_.size() < other.levels_.size()) {
     levels_.resize(other.levels_.size());
+    sorted_.resize(levels_.size(), 0);
+    seg_bounds_.resize(levels_.size());
+    seg_dirty_.resize(levels_.size(), 0);
   }
   for (size_t level = 0; level < other.levels_.size(); ++level) {
     auto& dst = levels_[level];
     const auto& src = other.levels_[level];
-    dst.insert(dst.end(), src.begin(), src.end());
+    // `other`'s buffer lands on our staging tail; whatever run structure
+    // it has, the next consolidation's detection scan re-finds it.
+    if (!src.empty()) {
+      dst.insert(dst.end(), src.begin(), src.end());
+      seg_dirty_[level] = 1;
+    }
   }
   for (size_t level = 0; level < levels_.size(); ++level) {
     while (levels_[level].size() >= capacity_) {
@@ -110,6 +267,9 @@ void CompactorSummary::MergeFrom(const CompactorSummary& other) {
 
 std::vector<std::pair<uint64_t, uint64_t>> CompactorSummary::Items() const {
   std::vector<std::pair<uint64_t, uint64_t>> out;
+  size_t total = 0;
+  for (const auto& buf : levels_) total += buf.size();
+  out.reserve(total);
   uint64_t weight = 1;
   for (const auto& buf : levels_) {
     for (uint64_t v : buf) out.emplace_back(v, weight);
@@ -118,22 +278,68 @@ std::vector<std::pair<uint64_t, uint64_t>> CompactorSummary::Items() const {
   return out;
 }
 
+void CompactorSummary::ExportLevels(
+    std::vector<uint64_t>* values,
+    std::vector<std::pair<uint64_t, uint32_t>>* segments) {
+  values->clear();
+  segments->clear();
+  size_t total = 0;
+  for (const auto& buf : levels_) total += buf.size();
+  values->reserve(total);
+  size_t used = LevelsUsed();
+  for (size_t level = 0; level < used; ++level) {
+    if (levels_[level].empty()) continue;
+    EnsureSorted(level);
+    values->insert(values->end(), levels_[level].begin(),
+                   levels_[level].end());
+    segments->emplace_back(uint64_t{1} << level,
+                           static_cast<uint32_t>(values->size()));
+  }
+}
+
+size_t CompactorSummary::LevelsUsed() const {
+  size_t used = levels_.size();
+  while (used > 1 && levels_[used - 1].empty()) --used;
+  return used;
+}
+
+int CompactorSummary::NumLevels() const {
+  return static_cast<int>(LevelsUsed());
+}
+
 uint64_t CompactorSummary::SerializedWords() const {
   uint64_t items = 0;
   for (const auto& buf : levels_) items += buf.size();
-  return items + levels_.size() + 1;
+  return items + LevelsUsed() + 1;
 }
 
 uint64_t CompactorSummary::SpaceWords() const {
   uint64_t words = 2;
-  for (const auto& buf : levels_) words += buf.size() + 1;
+  size_t used = LevelsUsed();
+  for (size_t level = 0; level < used; ++level) {
+    words += levels_[level].size() + 1;
+  }
   return words;
 }
 
 void CompactorSummary::Clear() {
   levels_.clear();
   levels_.emplace_back();
+  sorted_.assign(1, 0);
+  seg_bounds_.assign(1, {});
+  seg_dirty_.assign(1, 0);
   m_ = 0;
+}
+
+void CompactorSummary::Reset(uint64_t seed) {
+  rng_ = Rng(seed);
+  m_ = 0;
+  // clear() keeps each buffer's heap allocation; trailing (now weight-0)
+  // levels are retained and skipped by the accounting helpers.
+  for (auto& buf : levels_) buf.clear();
+  for (auto& bounds : seg_bounds_) bounds.clear();
+  sorted_.assign(levels_.size(), 0);
+  seg_dirty_.assign(levels_.size(), 0);
 }
 
 }  // namespace summaries

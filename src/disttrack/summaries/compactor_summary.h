@@ -17,6 +17,25 @@
 // DESIGN.md documents this as the one substitution in the reproduction:
 // the paper quotes space O(1/eps * log^1.5(1/eps)) for A; the compactor
 // gives O(1/eps * log(eps*m)), identical in all experiments' regimes.
+//
+// DESIGN — why batched compaction preserves the martingale argument.
+// InsertBatch appends a whole run to the level-0 buffer and only then
+// compacts, so a buffer can be far beyond its capacity s when its single
+// compaction runs. That changes *when* compactions happen and *how many
+// elements* each consumes — but not the error analysis: one compaction of
+// any even number of weight-2^l elements (sort, promote every other
+// element from a uniformly random even/odd offset with doubled weight)
+// perturbs any fixed rank query by exactly 0 (rank below the buffer even)
+// or +-2^l with probability 1/2 each (rank odd). The perturbation is
+// mean-zero and bounded by 2^l *regardless of the buffer's size*, so the
+// error process stays a martingale with per-step increments +-2^l; the
+// variance bound Var <= sum_l 4^l * (#compactions at level l) only
+// *improves*, because batching strictly reduces the number of compactions
+// at every level (each level-l compaction still needs >= s/2 promotions
+// to trigger the next one up, while consuming more than s elements).
+// Scalar Insert and InsertBatch therefore satisfy the same unbiasedness
+// and (eps*m)^2-variance guarantees — pinned distributionally by
+// tests/batch_equivalence_test.cc and tests/stat_acceptance_test.cc.
 
 #ifndef DISTTRACK_SUMMARIES_COMPACTOR_SUMMARY_H_
 #define DISTTRACK_SUMMARIES_COMPACTOR_SUMMARY_H_
@@ -40,6 +59,22 @@ class CompactorSummary {
   /// Inserts one value; amortized O(log) with occasional O(s log s) sorts.
   void Insert(uint64_t value);
 
+  /// Inserts `count` values in one step: appends the run to the level-0
+  /// buffer with a single capacity check, then compacts each over-full
+  /// level once (in-place sort + one promotion pass — CompactLevel always
+  /// consumes the whole even prefix, so one pass per level suffices no
+  /// matter how far past capacity the run pushed it). Identical guarantees
+  /// to per-element Insert (see the DESIGN note above); fewer, larger
+  /// compactions, so strictly less variance and far less per-element work.
+  void InsertBatch(const uint64_t* values, size_t count);
+
+  /// InsertBatch for a run already sorted ascending. This is the rank
+  /// tracker's fast path: algorithm C feeds the same run to every level of
+  /// its node tree, so the caller sorts once and every summary stages the
+  /// run as a single pre-sorted segment — consolidation (EnsureSorted)
+  /// then merges whole runs instead of comparison-sorting elements.
+  void InsertSortedBatch(const uint64_t* values, size_t count);
+
   /// Unbiased estimate of |{y in stream : y < x}|; monotone in x.
   double EstimateRank(uint64_t x) const;
 
@@ -60,6 +95,15 @@ class CompactorSummary {
   /// coordinator when a node of algorithm C becomes full (§4).
   std::vector<std::pair<uint64_t, uint64_t>> Items() const;
 
+  /// Copies the summary's content as one flat ascending-per-segment value
+  /// array plus (weight, end offset) segment descriptors, skipping empty
+  /// levels — the wire format a site ships and the coordinator's
+  /// per-segment binary-search lookup format. No comparison sort of the
+  /// full item set: each level is consolidated (staged runs merged) and
+  /// then copied out. Non-const only because of that consolidation.
+  void ExportLevels(std::vector<uint64_t>* values,
+                    std::vector<std::pair<uint64_t, uint32_t>>* segments);
+
   /// Words transmitted when the summary is sent: one word per stored item
   /// value plus one per-level length header.
   uint64_t SerializedWords() const;
@@ -67,19 +111,64 @@ class CompactorSummary {
   uint64_t m() const { return m_; }
   double eps() const { return eps_; }
   size_t buffer_capacity() const { return capacity_; }
-  int NumLevels() const { return static_cast<int>(levels_.size()); }
+  /// Levels in use (through the highest nonempty buffer; >= 1). Reset()
+  /// retains emptied levels for reuse, so this is not the raw buffer
+  /// count.
+  int NumLevels() const;
   uint64_t SpaceWords() const;
 
   void Clear();
 
+  /// Clear() plus a reseed, retaining every buffer's allocated capacity.
+  /// The rank tracker pools summaries across short-lived tree nodes, so a
+  /// reused node costs zero allocations instead of one per level buffer.
+  /// Emptied levels are retained (weight 0); the accounting helpers skip
+  /// trailing empties.
+  void Reset(uint64_t seed);
+
  private:
+  // Staging invariant: every level buffer is a sorted prefix
+  // [0, sorted_[l]) followed by a staging tail of appended sorted runs
+  // (batch runs arrive pre-sorted; per-element Insert appends singletons;
+  // promotions append the stride-2 output of a sorted buffer, itself
+  // sorted). Run boundaries are tracked as they are appended
+  // (seg_bounds_), except after an InsertBatch of unordered data, which
+  // marks the level dirty and falls back to a detection scan. Nothing is
+  // merged eagerly: EnsureSorted consolidates a level only when a
+  // compaction or an export needs it, merging the tail's runs pairwise —
+  // ~log2(#runs) passes where a comparison sort would do log2(n), and
+  // each element is fully sorted exactly once per level.
+  void EnsureSorted(size_t level);
   void CompactLevel(size_t level);
+  // Compacts every over-capacity level bottom-up, one pass.
+  void Cascade();
+  // Records the boundary of a tail append of `count` ascending values
+  // starting at offset `old_size` of level `l` (extends the previous
+  // segment when the order allows).
+  void NoteAscendingAppend(size_t level, size_t old_size);
+  // Merges buf's sorted halves [0, mid) and [mid, end) without the
+  // per-call temporary-buffer allocation of std::inplace_merge (the
+  // scratch vector is reused across calls and levels).
+  void MergeSortedTail(std::vector<uint64_t>* buf, size_t mid);
+  // Sorts buf's tail [from, end) by merging its ascending runs pairwise
+  // with ping-pong passes through the scratch. `bounds` holds the run
+  // starts in (from, end), exclusive; pass nullptr to detect them.
+  void SortTail(std::vector<uint64_t>* buf, size_t from,
+                const std::vector<size_t>* interior_bounds);
+  size_t LevelsUsed() const;        // through the last nonempty, >= 1
 
   double eps_;
   size_t capacity_;  // per-level buffer capacity s (even, >= 2)
   Rng rng_;
   uint64_t m_ = 0;  // total stream length inserted (not counting merges)
   std::vector<std::vector<uint64_t>> levels_;  // levels_[i]: weight 2^i each
+  std::vector<size_t> sorted_;  // per-level sorted prefix length
+  // Per-level staged-segment starts (interior to the tail) and a dirty
+  // flag set when unordered data was appended (bounds then unusable).
+  std::vector<std::vector<size_t>> seg_bounds_;
+  std::vector<uint8_t> seg_dirty_;
+  std::vector<uint64_t> merge_buf_;  // MergeSortedTail / SortTail scratch
+  std::vector<size_t> run_bounds_;   // SortTail run-boundary scratch
 };
 
 }  // namespace summaries

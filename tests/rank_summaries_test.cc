@@ -246,6 +246,55 @@ TEST(CompactorTest, ClearResets) {
   EXPECT_DOUBLE_EQ(c.EstimateRank(100), 0.0);
 }
 
+TEST(CompactorTest, QuantileOnWeightZeroLevelsReturnsZero) {
+  // A summary can hold only weight-0 (empty) levels: freshly constructed,
+  // Reset() (which retains emptied levels for reuse), or merged from such
+  // summaries (MergeFrom resizes the level vector even when every source
+  // buffer is empty). Quantile must answer 0 without searching any level.
+  CompactorSummary empty(0.1, 61);
+  EXPECT_EQ(empty.Quantile(0.5), 0u);
+
+  CompactorSummary c(0.1, 63);
+  for (uint64_t i = 0; i < 1000; ++i) c.Insert(i);  // grows several levels
+  ASSERT_GT(c.NumLevels(), 1);
+  c.Reset(99);
+  EXPECT_EQ(c.m(), 0u);
+  EXPECT_EQ(c.WeightTotal(), 0u);
+  EXPECT_EQ(c.Quantile(0.0), 0u);
+  EXPECT_EQ(c.Quantile(0.5), 0u);
+  EXPECT_EQ(c.Quantile(1.0), 0u);
+
+  // The post-merge edge: merging the reset (multi-empty-level) summary
+  // leaves the destination holding only weight-0 levels too.
+  CompactorSummary merged(0.1, 65);
+  merged.MergeFrom(c);
+  merged.MergeFrom(empty);
+  EXPECT_EQ(merged.Quantile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(merged.EstimateRank(123), 0.0);
+  EXPECT_EQ(merged.WeightTotal(), 0u);
+
+  // And the summary recovers once data arrives.
+  merged.Insert(42);
+  EXPECT_EQ(merged.Quantile(0.5), 42u);
+}
+
+TEST(CompactorTest, ResetRetainsGuaranteesOnReuse) {
+  // Node pooling reuses summaries via Reset(); a reused summary must give
+  // the same unbiased estimates as a fresh one.
+  const double eps = 0.05;
+  auto data = RandomData(20000, 1 << 16, 67);
+  uint64_t x = 1 << 15;
+  uint64_t truth = ExactRankOf(data, x);
+  CompactorSummary c(eps, 71);
+  for (uint64_t v : data) c.Insert(v);  // first life
+  c.Reset(73);
+  for (uint64_t v : data) c.Insert(v);  // reused life
+  EXPECT_EQ(c.m(), 20000u);
+  EXPECT_EQ(c.WeightTotal(), 20000u);
+  double err = std::fabs(c.EstimateRank(x) - static_cast<double>(truth));
+  EXPECT_LE(err, 4 * eps * 20000);
+}
+
 TEST(BernoulliSummaryTest, PEqualsOneIsExact) {
   BernoulliSampleSummary s(1.0, 3);
   for (uint64_t v : {1ull, 5ull, 5ull, 9ull}) s.Insert(v);
