@@ -125,12 +125,14 @@ BenchEntry TimeConfig(const std::string& problem, const std::string& path,
   return e;
 }
 
-core::TrackerOptions Options(int k, double eps, bool skip) {
+core::TrackerOptions Options(int k, double eps, bool skip,
+                             bool shared_ladder = true) {
   core::TrackerOptions opt;
   opt.num_sites = k;
   opt.epsilon = eps;
   opt.seed = 20260728;
   opt.use_skip_sampling = skip;
+  opt.use_shared_ladder = shared_ladder;
   return opt;
 }
 
@@ -177,7 +179,9 @@ void PrintEntry(const BenchEntry& e) {
 
 void WriteJson(const std::vector<BenchEntry>& entries,
                const std::vector<std::pair<int, double>>& count_speedups,
-               double eps, uint64_t n_count, const char* json_path) {
+               const std::vector<std::pair<int, double>>& rank_speedups,
+               double eps, uint64_t n_count, uint64_t n_rank,
+               const char* json_path) {
   std::FILE* f = std::fopen(json_path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", json_path);
@@ -205,6 +209,16 @@ void WriteJson(const std::vector<BenchEntry>& entries,
                  static_cast<unsigned long long>(n_count), eps,
                  count_speedups[i].second,
                  i + 1 < count_speedups.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"rank_ab\": [\n");
+  for (size_t i = 0; i < rank_speedups.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"k\": %d, \"n\": %llu, \"eps\": %g, "
+                 "\"speedup_shared_ladder_vs_staged\": %.2f}%s\n",
+                 rank_speedups[i].first,
+                 static_cast<unsigned long long>(n_rank), eps,
+                 rank_speedups[i].second,
+                 i + 1 < rank_speedups.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -284,6 +298,17 @@ int CheckAgainstBaseline(const std::vector<BenchEntry>& entries,
   }
   int failures = 0;
   int compared = 0;
+  // Per-problem rollup of old/new ratios, printed as a summary table on
+  // success as well, so CI logs double as the throughput trajectory
+  // record per commit.
+  struct ProblemRoll {
+    const char* name;
+    double min_ratio = 1e300;
+    double max_ratio = 0;
+    std::string min_config;
+    int rows = 0;
+  };
+  ProblemRoll rolls[3] = {{"count"}, {"frequency"}, {"rank"}};
   for (const BenchEntry& e : entries) {
     const BaselineEntry* match = nullptr;
     for (const BaselineEntry& b : baseline) {
@@ -300,12 +325,22 @@ int CheckAgainstBaseline(const std::vector<BenchEntry>& entries,
                        ? e.elements_per_sec / match->elements_per_sec
                        : 0.0;
     bool regressed = ratio < 1.0 - kCheckTolerance;
-    std::printf("check  %-10s %-12s %-13s k=%-3d %12.0f vs %12.0f elem/s "
+    std::printf("check  %-10s %-14s %-13s k=%-3d %12.0f vs %12.0f elem/s "
                 "(x%.2f)%s\n",
                 e.problem.c_str(), e.path.c_str(), e.workload.c_str(), e.k,
                 e.elements_per_sec, match->elements_per_sec, ratio,
                 regressed ? "  REGRESSION" : "");
     if (regressed) ++failures;
+    for (ProblemRoll& roll : rolls) {
+      if (e.problem != roll.name) continue;
+      ++roll.rows;
+      roll.max_ratio = std::max(roll.max_ratio, ratio);
+      if (ratio < roll.min_ratio) {
+        roll.min_ratio = ratio;
+        roll.min_config = e.path + "/" + e.workload + "/k=" +
+                          std::to_string(e.k);
+      }
+    }
   }
   if (compared == 0) {
     std::fprintf(stderr,
@@ -314,13 +349,25 @@ int CheckAgainstBaseline(const std::vector<BenchEntry>& entries,
                  baseline_path);
     return 1;
   }
+  std::printf("\n--- throughput vs baseline (%s) ---\n", baseline_path);
+  std::printf("%-10s %5s %10s %10s  %s\n", "problem", "rows", "min", "max",
+              "slowest row");
+  for (const ProblemRoll& roll : rolls) {
+    if (roll.rows == 0) continue;
+    std::printf("%-10s %5d %9.2fx %9.2fx  %s\n", roll.name, roll.rows,
+                roll.min_ratio, roll.max_ratio, roll.min_config.c_str());
+  }
   if (failures > 0) {
     std::fprintf(stderr,
                  "--check: %d configuration(s) regressed more than %.0f%% "
                  "vs %s\n",
                  failures, kCheckTolerance * 100, baseline_path);
+    return 1;
   }
-  return failures > 0 ? 1 : 0;
+  std::printf("check PASSED: %d row(s) compared, none regressed more than "
+              "%.0f%%\n",
+              compared, kCheckTolerance * 100);
+  return 0;
 }
 
 }  // namespace
@@ -336,6 +383,7 @@ int main(int argc, char** argv) {
 
   std::vector<BenchEntry> entries;
   std::vector<std::pair<int, double>> count_speedups;
+  std::vector<std::pair<int, double>> rank_speedups;
 
   for (int k : {8, 64}) {
     // ---- count: uniform-random and skewed site schedules, full A/B.
@@ -402,7 +450,10 @@ int main(int argc, char** argv) {
       }
     }
 
-    // ---- rank: uniform values and Zipf(1.1)-skewed values, A/B.
+    // ---- rank: uniform values and Zipf(1.1)-skewed values. Three paths:
+    // per_arrival (historical per-element coins + feed), staged_batched
+    // (PR 2's per-level run staging, use_shared_ladder=false), and
+    // skip_batched (the default shared run-merge ladder).
     for (auto [use_zipf, dist_name] :
          {std::pair(false, "uniform"), std::pair(true, "zipf")}) {
       sim::Workload w =
@@ -414,14 +465,24 @@ int main(int argc, char** argv) {
                          stream::ValueOrder::kUniformRandom, 17, 13);
       uint64_t query = use_zipf ? universe / 2 : (1ull << 16);
       uint64_t truth = stream::ExactRank(w, query);
-      for (bool skip : {false, true}) {
+      struct RankPath {
+        const char* name;
+        bool skip;
+        bool shared_ladder;
+      };
+      double staged_secs = 0;
+      for (const RankPath& path :
+           {RankPath{"per_arrival", false, true},
+            RankPath{"staged_batched", true, false},
+            RankPath{"skip_batched", true, true}}) {
         BenchEntry e = TimeConfig(
-            "rank", skip ? "skip_batched" : "per_arrival", dist_name, k,
-            n_rank, eps, reps,
-            [&] { return MakeRank(Options(k, eps, skip)); },
+            "rank", path.name, dist_name, k, n_rank, eps, reps,
+            [&] {
+              return MakeRank(Options(k, eps, path.skip, path.shared_ladder));
+            },
             [&](sim::RankTrackerInterface* t) {
               double secs = DeliverTimed(
-                  t, w, skip,
+                  t, w, path.skip,
                   [](sim::RankTrackerInterface* rt, const sim::Arrival& a) {
                     rt->Arrive(a.site, a.key);
                   });
@@ -433,17 +494,29 @@ int main(int argc, char** argv) {
               return std::pair<double, double>(secs, rel);
             });
         PrintEntry(e);
+        if (std::strcmp(path.name, "staged_batched") == 0) {
+          staged_secs = e.seconds;
+        } else if (std::strcmp(path.name, "skip_batched") == 0 &&
+                   std::strcmp(dist_name, "uniform") == 0) {
+          rank_speedups.emplace_back(k, staged_secs / e.seconds);
+        }
         entries.push_back(e);
       }
     }
   }
 
-  WriteJson(entries, count_speedups, eps, n_count, json_path);
+  WriteJson(entries, count_speedups, rank_speedups, eps, n_count, n_rank,
+            json_path);
   for (auto [k, speedup] : count_speedups) {
     std::printf("count A/B (uniform, k=%d, n=%llu): skip_batched is %.2fx "
                 "per_arrival %s\n",
                 k, static_cast<unsigned long long>(n_count), speedup,
                 speedup >= 5.0 ? "[>=5x OK]" : "[below 5x target]");
+  }
+  for (auto [k, speedup] : rank_speedups) {
+    std::printf("rank A/B (uniform, k=%d, n=%llu): shared ladder is %.2fx "
+                "the per-level staged feed\n",
+                k, static_cast<unsigned long long>(n_rank), speedup);
   }
   std::printf("wrote %s\n", json_path);
   if (const char* baseline = StringFlagOr(argc, argv, "--check", nullptr)) {

@@ -169,6 +169,7 @@ Status MakeOneRank(Algorithm algorithm, const TrackerOptions& options,
       o.confidence_factor = ConfidenceOr(options, kDefaultRankConfidence);
       o.use_skip_sampling = options.use_skip_sampling;
       o.use_batch_compaction = options.use_batch_compaction;
+      o.use_shared_ladder = options.use_shared_ladder;
       if (Status s = o.Validate(); !s.ok()) return s;
       *out = std::make_unique<rank::RandomizedRankTracker>(o);
       return Status::OK();

@@ -73,6 +73,15 @@ struct TrackerOptions {
   /// per-element feed for A/B benchmarking and exact-equivalence tests.
   bool use_batch_compaction = true;
 
+  /// When true (default) the randomized rank tracker consolidates each
+  /// site's sorted runs once in a shared run-merge ladder
+  /// (summaries/run_ladder.h) and every tree level pulls borrowed views
+  /// of the merged sequence, instead of staging and re-merging its own
+  /// copy at all h+1 levels. Bit-identical estimates, communication, and
+  /// rounds either way (pinned by tests/batch_equivalence_test.cc); kept
+  /// for A/B benchmarking.
+  bool use_shared_ladder = true;
+
   Status Validate() const;
 };
 

@@ -76,6 +76,8 @@ void RandomizedRankTracker::StartFreshInstance(SiteState* s) {
   s->arrivals_in_chunk = 0;
   s->arrivals_in_leaf = 0;
   s->current_leaf = 0;
+  s->nodes_ready = false;
+  s->pull_slack = 0;
   size_t levels = static_cast<size_t>(height_) + 1;
   if (s->pool.size() != levels) {
     // The round's tree shape changed, and with it LevelEps and every
@@ -95,7 +97,14 @@ void RandomizedRankTracker::StartFreshInstance(SiteState* s) {
     s->nodes.clear();
   }
   s->nodes.resize(levels);
-  instances_[s->instance].inv_p = inv_p_;
+  if (options_.use_shared_ladder) {
+    // Round and chunk boundaries discard in-flight tree state (completed
+    // leaves are covered by shipped summaries, the tail by its frozen
+    // samples); unpulled ladder data goes with it.
+    s->ladder.Reset(levels);
+  }
+  s->idata = &instances_[s->instance];
+  s->idata->inv_p = inv_p_;
   if (options_.use_skip_sampling) {
     // Rounds change p, which invalidates outstanding skips; chunk
     // boundaries don't, but a redraw is exact either way (independence of
@@ -121,9 +130,23 @@ void RandomizedRankTracker::OnBroadcast(uint64_t /*round*/, uint64_t n_bar) {
   if (in_batch_) RearmAll();
 }
 
+RandomizedRankTracker::StoredSummary RandomizedRankTracker::TakeStored() {
+  if (stored_pool_.empty()) return StoredSummary{};
+  StoredSummary stored = std::move(stored_pool_.back());
+  stored_pool_.pop_back();
+  stored.values.clear();
+  stored.segments.clear();
+  return stored;
+}
+
+void RandomizedRankTracker::RecycleStored(StoredSummary&& stored) {
+  if (stored_pool_.size() < 256) stored_pool_.push_back(std::move(stored));
+}
+
 void RandomizedRankTracker::FlushNode(int site, SiteState* s, int level,
                                       uint32_t node_start,
                                       uint32_t end_leaf) {
+  s->nodes_ready = false;
   auto& node = s->nodes[static_cast<size_t>(level)];
   if (node == nullptr) return;
   if (node->m() == 0) {
@@ -133,11 +156,11 @@ void RandomizedRankTracker::FlushNode(int site, SiteState* s, int level,
   // Site -> coordinator: the serialized summary.
   meter_.RecordUpload(site, node->SerializedWords());
 
-  StoredSummary stored;
+  StoredSummary stored = TakeStored();
   stored.first_leaf = node_start;
   stored.end_leaf = end_leaf;
   node->ExportLevels(&stored.values, &stored.segments);
-  instances_[s->instance].summaries.push_back(std::move(stored));
+  s->idata->summaries.push_back(std::move(stored));
   s->pool[static_cast<size_t>(level)].push_back(std::move(node));
 }
 
@@ -147,7 +170,83 @@ void RandomizedRankTracker::UpdateSpace(int site) {
   for (const auto& node : s.nodes) {
     if (node != nullptr) words += node->SpaceWords();
   }
+  // The ladder buffers at most the largest level's pull window — the
+  // staging memory it removed from the h+1 nodes, charged once.
+  words += s.ladder.SpaceWords();
   space_.Set(site, words);
+}
+
+void RandomizedRankTracker::EnsureNodes(SiteState* s) {
+  if (s->nodes_ready) return;
+  for (int level = 0; level <= height_; ++level) {
+    auto& node = s->nodes[static_cast<size_t>(level)];
+    if (node == nullptr) node = AcquireNode(s, level);
+  }
+  s->nodes_ready = true;
+}
+
+void RandomizedRankTracker::PumpLevels(SiteState* s, uint64_t appended) {
+  // pull_slack under-estimates the appends remaining before the first
+  // level trips (pulls and flushes only shrink buffers, so the bound only
+  // gets more conservative); while it stays positive the level scan is
+  // skipped.
+  if (appended < s->pull_slack) {
+    s->pull_slack -= appended;
+    return;
+  }
+  // Exact feeds pull exactly when staging the same data would have
+  // tripped the level's compaction threshold, so both paths compact the
+  // identical multiset at the identical points and stay bit-identical
+  // (the singleton granularity makes the trigger exact).
+  //
+  // The batched feed instead defers every level to dyadic pull quanta,
+  // min(2^level * b, top capacity): fewer, larger compactions — the same
+  // mean-zero ±2^level martingale steps of the batched-compaction
+  // argument, with strictly fewer of them — which takes the per-run
+  // cascade overhead off the short-run regime where events arrive every
+  // O(b) elements. Two structural effects matter as much as the count:
+  // cursors come to rest only at nested dyadic leaf boundaries (or the
+  // top-capacity cadence), so the boundaries they pin in the ladder
+  // coincide instead of fragmenting every higher window, and a level
+  // whose whole node window fits in one quantum ingests it as a single
+  // consolidated run. The top level still pulls at its own capacity, so
+  // the ladder's footprint stays at the one window it already buffers.
+  const bool lazy = options_.use_batch_compaction;
+  const uint64_t top_capacity =
+      s->nodes[static_cast<size_t>(height_)]->buffer_capacity();
+  uint64_t slack = ~uint64_t{0};
+  for (int level = 0; level <= height_; ++level) {
+    uint64_t pending = s->ladder.pending(static_cast<size_t>(level));
+    auto& node = s->nodes[static_cast<size_t>(level)];
+    uint64_t capacity = node->buffer_capacity();
+    uint64_t quantum = 1;
+    if (lazy) {
+      quantum = level < 40 ? block_size_ << level : top_capacity;
+      quantum = std::min(quantum, top_capacity);
+    }
+    uint64_t owned = node->level0_size();
+    uint64_t threshold =
+        std::max(quantum, capacity > owned ? capacity - owned : 1);
+    if (pending >= threshold) {
+      size_t total =
+          s->ladder.Pull(static_cast<size_t>(level), &view_scratch_);
+      node->InsertSortedViews(view_scratch_.data(), view_scratch_.size(),
+                              total);
+      pending = 0;
+      owned = node->level0_size();
+      threshold =
+          std::max(quantum, capacity > owned ? capacity - owned : 1);
+    }
+    slack = std::min(slack, threshold - pending);
+  }
+  s->pull_slack = slack;
+}
+
+void RandomizedRankTracker::PullInto(SiteState* s, int level) {
+  size_t total = s->ladder.Pull(static_cast<size_t>(level), &view_scratch_);
+  if (total == 0) return;
+  s->nodes[static_cast<size_t>(level)]->InsertSortedViews(
+      view_scratch_.data(), view_scratch_.size(), total);
 }
 
 inline void RandomizedRankTracker::ProcessArrival(int site, uint64_t value) {
@@ -165,21 +264,31 @@ inline void RandomizedRankTracker::ProcessArrival(int site, uint64_t value) {
                                           : s.rng.Bernoulli(1.0 / inv_p_);
     if (fwd) meter_.RecordUpload(site, 2);
     meter_.RecordUpload(site, 3);  // single-item summary: value + header
-    StoredSummary stored;
+    StoredSummary stored = TakeStored();
     stored.first_leaf = 0;
     stored.end_leaf = 1;
     stored.values.push_back(value);
     stored.segments.emplace_back(1, 1);
-    instances_[s.instance].summaries.push_back(std::move(stored));
+    s.idata->summaries.push_back(std::move(stored));
     StartFreshInstance(&s);
     return;
   }
 
   // Feed the active node at every level of algorithm C's tree.
-  for (int level = 0; level <= height_; ++level) {
-    auto& node = s.nodes[static_cast<size_t>(level)];
-    if (node == nullptr) node = AcquireNode(&s, level);
-    node->Insert(value);
+  if (options_.use_shared_ladder) {
+    // One append serves all levels: the value lands in the ladder as a
+    // one-element straggler run and each level pulls it when its own
+    // compaction threshold comes due.
+    EnsureNodes(&s);
+    s.ladder.AppendValue(value);
+    PumpLevels(&s, 1);
+    s.ladder.Consolidate();
+  } else {
+    for (int level = 0; level <= height_; ++level) {
+      auto& node = s.nodes[static_cast<size_t>(level)];
+      if (node == nullptr) node = AcquireNode(&s, level);
+      node->Insert(value);
+    }
   }
 
   bool completes_leaf = s.arrivals_in_leaf + 1 >= block_size_ ||
@@ -196,8 +305,7 @@ inline void RandomizedRankTracker::ProcessArrival(int site, uint64_t value) {
     // the completion prune below before any estimate can read it; charge
     // the upload but skip the vector churn.
     if (!completes_leaf) {
-      instances_[s.instance].residuals.push_back(
-          ResidualSample{s.current_leaf, value});
+      s.idata->residuals.push_back(ResidualSample{s.current_leaf, value});
     }
   }
 
@@ -207,12 +315,14 @@ inline void RandomizedRankTracker::ProcessArrival(int site, uint64_t value) {
   bool leaf_done = s.arrivals_in_leaf >= block_size_ || chunk_done;
 
   if (leaf_done) {
-    // Space watermark, sampled at leaf boundaries rather than per arrival
-    // (the nodes are at their fullest right before the flush, so this
-    // keeps the recorded peak while dropping a full node scan per
-    // arrival). Intra-leaf compactor transients are bounded by the same
-    // O(1/eps_l) capacity the boundary reading shows.
-    UpdateSpace(site);
+    // Space watermark, sampled at every fourth leaf boundary plus the
+    // chunk end rather than per arrival or per leaf (the nodes are at
+    // their fullest right before a flush, and the per-site peak comes
+    // from the top node late in the chunk, so the coarser cadence keeps
+    // the recorded peak while dropping most full node scans). Intra-leaf
+    // compactor transients are bounded by the same O(1/eps_l) capacity
+    // the boundary reading shows.
+    if ((s.current_leaf & 3u) == 3u || chunk_done) UpdateSpace(site);
     uint32_t completed_end = s.current_leaf + 1;
     for (int level = 0; level <= height_; ++level) {
       uint32_t node_start = (s.current_leaf >> level) << level;
@@ -225,30 +335,35 @@ inline void RandomizedRankTracker::ProcessArrival(int site, uint64_t value) {
           // the coordinator would discard the lower summaries on arrival
           // (see the dyadic-cover pruning after this loop), so don't
           // build or ship them. The estimate is unchanged and the
-          // communication strictly drops.
+          // communication strictly drops. Unpulled ladder data for these
+          // levels dies with the instance reset below.
           auto& node = s.nodes[static_cast<size_t>(level)];
           if (node != nullptr) {
             s.pool[static_cast<size_t>(level)].push_back(std::move(node));
+            s.nodes_ready = false;
           }
         } else {
+          // The window-closing arrival was appended above, so draining
+          // the cursor hands the node exactly its leaf range.
+          if (options_.use_shared_ladder) PullInto(&s, level);
           FlushNode(site, &s, level, node_start, completed_end);
         }
       }
     }
     // Completed leaves are now covered by summaries: their tail samples
     // are redundant and dropped (the paper's estimator only uses samples
-    // from the in-progress block).
-    auto& residuals = instances_[s.instance].residuals;
-    residuals.erase(
-        std::remove_if(residuals.begin(), residuals.end(),
-                       [completed_end](const ResidualSample& r) {
-                         return r.leaf < completed_end;
-                       }),
-        residuals.end());
+    // from the in-progress block). Residuals arrive in leaf order, so the
+    // drop is a constant-time advance of the live-range offset.
+    auto& residuals = s.idata->residuals;
+    size_t& begin = s.idata->residual_begin;
+    while (begin < residuals.size() &&
+           residuals[begin].leaf < completed_end) {
+      ++begin;
+    }
     if (chunk_done) {
       // The top-level summary now covers the whole chunk; lower summaries
       // are redundant for the dyadic cover and are dropped.
-      auto& data = instances_[s.instance];
+      auto& data = *s.idata;
       auto top = std::find_if(data.summaries.begin(), data.summaries.end(),
                               [completed_end](const StoredSummary& stored) {
                                 return stored.first_leaf == 0 &&
@@ -256,6 +371,9 @@ inline void RandomizedRankTracker::ProcessArrival(int site, uint64_t value) {
                               });
       if (top != data.summaries.end()) {
         StoredSummary keep = std::move(*top);
+        for (auto& dropped : data.summaries) {
+          RecycleStored(std::move(dropped));
+        }
         data.summaries.clear();
         data.summaries.push_back(std::move(keep));
       }
@@ -279,11 +397,13 @@ void RandomizedRankTracker::Arrive(int site, uint64_t value) {
 void RandomizedRankTracker::RearmSite(int site) {
   SiteState& s = sites_[static_cast<size_t>(site)];
   // Next event: the arrival that completes the current leaf (or chunk —
-  // its boundary coincides with a leaf boundary via leaf_done), the next
-  // tail-channel coin success, or the next coarse report.
+  // its boundary coincides with a leaf boundary via leaf_done) or the
+  // next coarse report. Tail-channel coin successes are not events: the
+  // whole run sits in one leaf, so FeedRun walks the skip chain through
+  // the buffered values itself — same draws at the same arrivals, same
+  // residuals, with runs twice as long.
   uint64_t gap = std::min(block_size_ - s.arrivals_in_leaf,
                           chunk_size_ - s.arrivals_in_chunk);
-  gap = std::min(gap, s.tail_skip.pending_skips() + 1);
   gap = std::min(gap, coarse_->arrivals_until_report(site));
   countdown_.Arm(site, gap);
 }
@@ -298,24 +418,57 @@ void RandomizedRankTracker::RearmAll() {
 // and the coarse tracker advances in bulk. By construction count is
 // strictly below every event gap, so no leaf completes, no tail forward
 // fires, and no coarse report (hence no broadcast) can fire here.
-void RandomizedRankTracker::FeedRun(int site, uint64_t* values,
+void RandomizedRankTracker::FeedRun(int site, std::vector<uint64_t>* run,
                                     uint64_t count) {
   if (count == 0) return;
+  uint64_t* values = run->data();
   SiteState& s = sites_[static_cast<size_t>(site)];
+  // Tail channel: walk the skip chain through the run in arrival order
+  // (values are still unsorted here). Every coin lands at the same
+  // arrival with the same RNG draws as the per-arrival path; successes
+  // are mid-leaf by construction (leaf boundaries are events), so each
+  // forwarded sample joins the residual pool.
+  {
+    uint64_t pos = 0;
+    for (;;) {
+      uint64_t skips = s.tail_skip.pending_skips();
+      if (pos + skips >= count) {
+        s.tail_skip.ConsumeFailures(count - pos);
+        break;
+      }
+      pos += skips;
+      s.tail_skip.ConsumeFailures(skips);
+      s.tail_skip.Next(&s.rng);  // skip exhausted: success + redraw
+      meter_.RecordUpload(site, 2);
+      s.idata->residuals.push_back(
+          ResidualSample{s.current_leaf, values[pos]});
+      ++pos;
+    }
+  }
   // Every level of the tree absorbs the same run, so sort it once, in
-  // place (the buffer is discarded right after), and let each summary
-  // stage it as a single pre-sorted segment instead of paying height+1
-  // independent sorts.
+  // place (the buffer is discarded right after). With the shared ladder
+  // the run is then also copied and consolidated once, and each level
+  // pulls borrowed views of the merged sequence at its own compaction
+  // cadence; the staging path instead hands every level its own copy to
+  // re-merge.
   std::sort(values, values + count);
-  for (int level = 0; level <= height_; ++level) {
-    auto& node = s.nodes[static_cast<size_t>(level)];
-    if (node == nullptr) node = AcquireNode(&s, level);
-    node->InsertSortedBatch(values, static_cast<size_t>(count));
+  if (options_.use_shared_ladder) {
+    EnsureNodes(&s);
+    // Callers hand over exactly the run (the event arrival was popped),
+    // so the buffer moves into the ladder instead of being copied.
+    s.ladder.AppendSortedVector(run);
+    PumpLevels(&s, count);
+    s.ladder.Consolidate();
+  } else {
+    for (int level = 0; level <= height_; ++level) {
+      auto& node = s.nodes[static_cast<size_t>(level)];
+      if (node == nullptr) node = AcquireNode(&s, level);
+      node->InsertSortedBatch(values, static_cast<size_t>(count));
+    }
   }
   s.arrivals_in_leaf += count;
   s.arrivals_in_chunk += count;
-  s.tail_skip.ConsumeFailures(count);
-  coarse_->ArriveRun(site, count);
+  coarse_->ArriveRun(site, count);  // tail coins were consumed by the walk
 }
 
 void RandomizedRankTracker::ResyncAllMidBatch() {
@@ -323,7 +476,7 @@ void RandomizedRankTracker::ResyncAllMidBatch() {
     uint64_t consumed = countdown_.Outstanding(i);
     countdown_.Reconcile(i);
     SiteState& s = sites_[static_cast<size_t>(i)];
-    FeedRun(i, s.run.data(), consumed);
+    FeedRun(i, &s.run, consumed);
     s.run.clear();
   }
 }
@@ -337,7 +490,8 @@ void RandomizedRankTracker::HandleEventArrival(int site) {
   uint64_t prefix = countdown_.TakeEventPrefix(site);
   SiteState& s = sites_[static_cast<size_t>(site)];
   uint64_t event_value = s.run.back();
-  FeedRun(site, s.run.data(), prefix);
+  s.run.pop_back();  // the buffer now holds exactly the eventless prefix
+  FeedRun(site, &s.run, prefix);
   s.run.clear();
   ProcessArrival(site, event_value);
   RearmSite(site);
@@ -402,8 +556,8 @@ double RandomizedRankTracker::EstimateRank(uint64_t value) const {
     }
     // In-progress tail: unbiased sample estimate at this round's p.
     uint64_t below = 0;
-    for (const ResidualSample& r : data.residuals) {
-      if (r.value < value) ++below;
+    for (size_t i = data.residual_begin; i < data.residuals.size(); ++i) {
+      if (data.residuals[i].value < value) ++below;
     }
     est += static_cast<double>(below) * data.inv_p;
   }

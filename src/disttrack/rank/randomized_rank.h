@@ -24,15 +24,19 @@
 // its frozen samples (scaled by that round's p), so no flush is needed.
 //
 // Hot path: ArriveBatch buffers each site's values and runs the shared
-// EventCountdown engine — between events (leaf/chunk boundaries, tail-
-// channel coin successes, coarse reports) a site's buffered run is fed to
-// every active tree level in one CompactorSummary::InsertBatch call per
-// level, with the tail skips and the coarse tracker reconciled in bulk.
-// Batched compaction performs fewer, larger compactions than per-element
-// Insert — identical unbiasedness and a strictly smaller variance bound
-// (see the DESIGN note in summaries/compactor_summary.h) — so the batch
-// path is equivalent in distribution, not bit-identical; the historical
-// per-element feed stays reachable via `use_batch_compaction = false`.
+// EventCountdown engine — between events (leaf/chunk boundaries, coarse
+// reports; tail-channel coins are walked through the buffered run in
+// place, same draws at the same arrivals) a site's run is sorted once and
+// moved into the site's shared run-merge ladder (summaries/run_ladder.h),
+// which consolidates runs exactly once. Every tree level owns a ladder
+// cursor and pulls borrowed views of the merged sequence when its
+// compaction comes due — at dyadic leaf quanta under the batched feed
+// (fewer, larger compactions; same martingale argument), at the exact
+// staging thresholds under the exact feed (bit-identical to per-level
+// staging). Batched compaction is equivalent in distribution, not
+// bit-identical, to the per-element feed (see the DESIGN note in
+// summaries/compactor_summary.h); the historical paths stay reachable via
+// `use_batch_compaction = false` and `use_shared_ladder = false`.
 
 #ifndef DISTTRACK_RANK_RANDOMIZED_RANK_H_
 #define DISTTRACK_RANK_RANDOMIZED_RANK_H_
@@ -49,6 +53,7 @@
 #include "disttrack/count/coarse_tracker.h"
 #include "disttrack/sim/protocol.h"
 #include "disttrack/summaries/compactor_summary.h"
+#include "disttrack/summaries/run_ladder.h"
 
 namespace disttrack {
 namespace rank {
@@ -78,6 +83,18 @@ struct RandomizedRankOptions {
   /// fewer of them (DESIGN note in summaries/compactor_summary.h). False
   /// keeps the historical per-element feed for A/B runs.
   bool use_batch_compaction = true;
+
+  /// When true (default), each site consolidates its sorted runs once in
+  /// a shared RunLadder and every tree level pulls borrowed views of the
+  /// merged sequence at its own compaction cadence, instead of staging
+  /// and re-merging its own copy of every run at all h+1 levels. Each
+  /// level still compacts the identical element multiset at the identical
+  /// fill thresholds with the identical coin sequence, so estimates,
+  /// communication, and rounds are bit-identical to the per-level staging
+  /// path under BOTH feeds (pinned by tests/batch_equivalence_test.cc);
+  /// only the merge work is shared. False keeps the historical per-level
+  /// staging for A/B runs.
+  bool use_shared_ladder = true;
 
   Status Validate() const;
 };
@@ -128,11 +145,19 @@ class RandomizedRankTracker : public sim::RankTrackerInterface {
   struct InstanceData {
     std::vector<StoredSummary> summaries;
     std::vector<ResidualSample> residuals;
+    // Residuals land in leaf order, so pruning completed leaves is just
+    // advancing this offset — the estimator reads [residual_begin, end).
+    size_t residual_begin = 0;
     double inv_p = 1.0;  // 1/p of the instance's round
   };
 
+  // (SiteState caches a pointer to its live instance's InstanceData —
+  // stable across unordered_map rehashes, which never move elements — so
+  // the hot paths skip the hash lookup.)
+
   struct SiteState {
     uint64_t instance = 0;
+    InstanceData* idata = nullptr;  // cached &instances_[instance]
     uint64_t arrivals_in_chunk = 0;
     uint64_t arrivals_in_leaf = 0;
     uint32_t current_leaf = 0;
@@ -151,6 +176,17 @@ class RandomizedRankTracker : public sim::RankTrackerInterface {
     // last event/reconciliation, in arrival order (delivery-engine state,
     // not protocol state — the values are the stream itself).
     std::vector<uint64_t> run;
+    // Shared run-merge ladder (use_shared_ladder): the site's sorted runs
+    // consolidated once, with one pull cursor per tree level. Reset with
+    // the instance.
+    summaries::RunLadder ladder;
+    // True while every level's node exists (EnsureNodes fast-exit);
+    // cleared whenever a node is flushed, dropped, or the instance
+    // restarts.
+    bool nodes_ready = false;
+    // Lower bound on the appends until some level's next pull threshold;
+    // PumpLevels skips its level scan while the bound stays positive.
+    uint64_t pull_slack = 0;
   };
 
   void OnBroadcast(uint64_t round, uint64_t n_bar);
@@ -163,13 +199,27 @@ class RandomizedRankTracker : public sim::RankTrackerInterface {
   // common/event_countdown.h for the reconciliation contract.
   void RearmSite(int site);
   void RearmAll();
-  // Feeds `count` buffered eventless values (sorted in place as a side
-  // effect; callers pass buffers they are about to discard).
-  void FeedRun(int site, uint64_t* values, uint64_t count);
+  // Feeds the `count` buffered eventless values in `run` (== the whole
+  // buffer; sorted in place, and moved into the ladder when it is on —
+  // callers get back a recycled buffer either way).
+  void FeedRun(int site, std::vector<uint64_t>* run, uint64_t count);
   void HandleEventArrival(int site);
   void ResyncAllMidBatch();
   std::unique_ptr<summaries::CompactorSummary> AcquireNode(SiteState* s,
                                                            int level);
+  // Shared-ladder plumbing. EnsureNodes creates any missing level node in
+  // level order (same seed-draw order as the staging path's lazy
+  // creation); PumpLevels pulls every level whose fill reached its
+  // compaction threshold; PullInto unconditionally drains a completing
+  // node's window before its flush.
+  void EnsureNodes(SiteState* s);
+  void PumpLevels(SiteState* s, uint64_t appended);
+  void PullInto(SiteState* s, int level);
+  // StoredSummary buffer pool: flushes run at leaf cadence, so recycling
+  // the vectors the chunk-end prune discards keeps allocation off the
+  // flush path.
+  StoredSummary TakeStored();
+  void RecycleStored(StoredSummary&& stored);
   void RecomputeRoundParams(uint64_t n_bar);
   void StartFreshInstance(SiteState* s);
   void FlushNode(int site, SiteState* s, int level, uint32_t node_start,
@@ -198,6 +248,8 @@ class RandomizedRankTracker : public sim::RankTrackerInterface {
 
   EventCountdown countdown_;
   bool in_batch_ = false;
+  std::vector<summaries::RunView> view_scratch_;  // ladder pull scratch
+  std::vector<StoredSummary> stored_pool_;
 };
 
 }  // namespace rank

@@ -63,6 +63,232 @@ void CompactorSummary::InsertSortedBatch(const uint64_t* values,
   if (base.size() >= capacity_) Cascade();
 }
 
+void CompactorSummary::InsertSortedViews(const RunView* views,
+                                         size_t num_views, size_t total) {
+  if (total == 0) return;
+  m_ += total;
+  // The common pull shape — one consolidated view landing on a bare
+  // straggler — is ingested without copying the view at all: the virtual
+  // cascade reads the borrowed storage (with the straggler spliced in by
+  // index arithmetic) and materializes only the survivors.
+  if (num_views == 1 && levels_[0].size() <= 1 &&
+      levels_[0].size() + total >= capacity_) {
+    const uint64_t* d = views[0].data;
+    size_t n = views[0].size;
+    bool continue_normal;
+    if (levels_[0].empty()) {
+      continue_normal =
+          CascadeVirtual([d](size_t i) { return d[i]; }, n);
+    } else {
+      uint64_t v = levels_[0][0];
+      size_t p = static_cast<size_t>(std::lower_bound(d, d + n, v) - d);
+      continue_normal = CascadeVirtual(
+          [d, p, v](size_t i) {
+            return i < p ? d[i] : (i == p ? v : d[i - 1]);
+          },
+          n + 1);
+    }
+    // Re-index levels_[0] — CascadeVirtual may have grown the hierarchy.
+    auto& base = levels_[0];
+    base.clear();
+    for (const auto& [lvl, value] : straggler_scratch_) {
+      if (lvl == 0) base.push_back(value);
+    }
+    sorted_[0] = base.size();
+    seg_bounds_[0].clear();
+    seg_dirty_[0] = 0;
+    if (continue_normal) Cascade();
+    return;
+  }
+  // Merge views + residue directly into the consolidated buffer, whether
+  // or not a compaction follows — a flush's final sub-threshold window is
+  // then already consolidated when ExportLevels reads it. The merge reads
+  // straight from the borrowed storage: no staging copy, no re-merge.
+  EnsureSorted(0);
+  MergeViewsIntoBase(views, num_views, total);
+  if (levels_[0].size() >= capacity_) CascadeSortedBase();
+}
+
+void CompactorSummary::CascadeSortedBase() {
+  const uint64_t* data = levels_[0].data();
+  bool continue_normal =
+      CascadeVirtual([data](size_t i) { return data[i]; },
+                     levels_[0].size());
+  // Collapse level 0 to its straggler last — the accessor read from it
+  // until here.
+  auto& base = levels_[0];
+  size_t base_size = 0;
+  for (const auto& [lvl, value] : straggler_scratch_) {
+    if (lvl == 0) base[base_size++] = value;
+  }
+  base.resize(base_size);
+  sorted_[0] = base_size;
+  seg_bounds_[0].clear();
+  seg_dirty_[0] = 0;
+  if (continue_normal) Cascade();
+}
+
+// The virtual-cascade core. `get(i)` indexes a fully sorted sequence of
+// `len` >= capacity elements that logically sits in level 0. Compacting
+// it the element-moving way would sort-promote-merge its way up level by
+// level, yet while the upper levels are empty the composition of those
+// stride-2 promotions is itself a strided slice of the sorted sequence:
+// promoting with offset coin c_j at virtual level j keeps exactly
+// get(offset + i * 2^(j+1)) with the offset accumulating c_j * 2^j. So
+// descend virtually — drawing the same per-level coins the real cascade
+// would draw — and materialize only the survivors: one straggler per odd
+// virtual level (recorded in straggler_scratch_; the caller owns writing
+// the level-0 one) and the first sub-capacity slice. A nonempty upper
+// level ends the virtual phase: the promotion due there is gathered and
+// merged, and the caller finishes with the ordinary cascade (signalled by
+// returning true) — bit-identical either way, since every step keeps the
+// same elements the real cascade keeps.
+template <class GetFn>
+bool CompactorSummary::CascadeVirtual(GetFn get, size_t len) {
+  size_t depth = 0;
+  for (size_t l = len; l >= capacity_; l /= 2) ++depth;
+  while (levels_.size() < depth + 1) {
+    levels_.emplace_back();
+    sorted_.push_back(0);
+    seg_bounds_.emplace_back();
+    seg_dirty_.push_back(0);
+  }
+  size_t stride = 1;
+  size_t offset = 0;
+  size_t level = 0;
+  straggler_scratch_.clear();
+  bool continue_normal = false;
+  while (len >= capacity_) {
+    size_t take = len & ~size_t{1};
+    bool coin = rng_.Bernoulli(0.5);
+    if (len > take) {
+      // Odd straggler stays behind at this virtual level.
+      straggler_scratch_.emplace_back(level,
+                                      get(offset + (len - 1) * stride));
+    }
+    size_t promoted = take / 2;
+    if (coin) offset += stride;
+    stride *= 2;
+    len = promoted;
+    ++level;
+    if (!levels_[level].empty()) {
+      // Real content ahead: gather the promotion, merge, and let the
+      // ordinary cascade finish from here.
+      promote_buf_.resize(promoted);
+      for (size_t i = 0; i < promoted; ++i) {
+        promote_buf_[i] = get(offset + i * stride);
+      }
+      EnsureSorted(level);
+      auto& up = levels_[level];
+      size_t up_size = up.size() + promoted;
+      GrowScratch(up_size);
+      std::merge(up.begin(), up.end(), promote_buf_.begin(),
+                 promote_buf_.end(), merge_buf_.begin());
+      up.assign(merge_buf_.data(), merge_buf_.data() + up_size);
+      sorted_[level] = up_size;
+      seg_bounds_[level].clear();
+      seg_dirty_[level] = 0;
+      continue_normal = true;
+      break;
+    }
+  }
+  if (!continue_normal && level > 0) {
+    // Materialize the first sub-capacity slice into its (empty) level.
+    auto& stop = levels_[level];
+    stop.resize(len);
+    for (size_t i = 0; i < len; ++i) stop[i] = get(offset + i * stride);
+    sorted_[level] = len;
+    seg_bounds_[level].clear();
+    seg_dirty_[level] = 0;
+  }
+  // Write the virtualized levels' stragglers (all were empty).
+  for (const auto& [lvl, value] : straggler_scratch_) {
+    if (lvl == 0) continue;  // caller owns level 0
+    levels_[lvl].push_back(value);
+    sorted_[lvl] = levels_[lvl].size();
+  }
+  return continue_normal;
+}
+
+void CompactorSummary::MergeViewsIntoBase(const RunView* views,
+                                          size_t num_views, size_t total) {
+  auto& base = levels_[0];
+  size_t out_size = base.size() + total;
+  GrowScratch(out_size);
+  // Sources: the consolidated base residue plus the borrowed views. The
+  // first merge pass reads them in place; later passes ping-pong between
+  // the two scratch buffers, so any view count costs one move per element
+  // per ceil(log2(#sources)) passes and never stages a copy.
+  view_merge_srcs_.clear();
+  if (!base.empty()) view_merge_srcs_.emplace_back(base.data(), base.size());
+  for (size_t i = 0; i < num_views; ++i) {
+    if (views[i].size == 0) continue;
+    view_merge_srcs_.emplace_back(views[i].data, views[i].size);
+  }
+  size_t nsrc = view_merge_srcs_.size();
+  const uint64_t* result = nullptr;
+  if (nsrc == 1) {
+    result = view_merge_srcs_[0].first;
+  } else if (nsrc == 2) {
+    std::merge(view_merge_srcs_[0].first,
+               view_merge_srcs_[0].first + view_merge_srcs_[0].second,
+               view_merge_srcs_[1].first,
+               view_merge_srcs_[1].first + view_merge_srcs_[1].second,
+               merge_buf_.begin());
+    result = merge_buf_.data();
+  } else {
+    // First pass: merge source pairs straight into merge_buf_, recording
+    // the produced run bounds; then pairwise ping-pong with the second
+    // scratch until one run remains.
+    if (view_merge_buf_.size() < out_size) {
+      view_merge_buf_.resize(
+          std::max(out_size, view_merge_buf_.size() * 2));
+    }
+    auto& bounds = run_bounds_;
+    bounds.clear();
+    bounds.push_back(0);
+    uint64_t* out = merge_buf_.data();
+    size_t produced = 0;
+    for (size_t i = 0; i + 1 < nsrc; i += 2) {
+      const auto& a = view_merge_srcs_[i];
+      const auto& b = view_merge_srcs_[i + 1];
+      std::merge(a.first, a.first + a.second, b.first, b.first + b.second,
+                 out + produced);
+      produced += a.second + b.second;
+      bounds.push_back(produced);
+    }
+    if (nsrc % 2 == 1) {
+      const auto& a = view_merge_srcs_[nsrc - 1];
+      std::copy(a.first, a.first + a.second, out + produced);
+      produced += a.second;
+      bounds.push_back(produced);
+    }
+    uint64_t* src = merge_buf_.data();
+    uint64_t* dst = view_merge_buf_.data();
+    while (bounds.size() > 2) {
+      size_t kept = 0;
+      size_t r = 0;
+      for (; r + 2 < bounds.size(); r += 2) {
+        size_t lo = bounds[r], mid = bounds[r + 1], hi = bounds[r + 2];
+        std::merge(src + lo, src + mid, src + mid, src + hi, dst + lo);
+        bounds[++kept] = hi;
+      }
+      if (r + 1 < bounds.size()) {
+        size_t lo = bounds[r], hi = bounds[r + 1];
+        std::copy(src + lo, src + hi, dst + lo);
+        bounds[++kept] = hi;
+      }
+      bounds.resize(kept + 1);
+      std::swap(src, dst);
+    }
+    result = src;
+  }
+  base.assign(result, result + out_size);
+  sorted_[0] = out_size;
+  seg_bounds_[0].clear();
+  seg_dirty_[0] = 0;
+}
+
 void CompactorSummary::Cascade() {
   // One pass: CompactLevel consumes the whole even prefix of a buffer, so
   // a single compaction per level suffices however far past capacity the
@@ -120,7 +346,7 @@ void CompactorSummary::SortTail(std::vector<uint64_t>* buf, size_t from,
   // Merge adjacent runs pairwise until one remains, ping-ponging between
   // the tail and the scratch buffer — one move per element per pass, and
   // only ~log2(#runs) passes since the staged batch runs arrive sorted.
-  if (merge_buf_.size() < len) merge_buf_.resize(len);
+  GrowScratch(len);
   uint64_t* src = tail;
   uint64_t* dst = merge_buf_.data();
   while (bounds.size() > 2) {
@@ -159,11 +385,11 @@ void CompactorSummary::MergeSortedTail(std::vector<uint64_t>* buf,
     }
     return;
   }
-  merge_buf_.resize(buf->size());
+  GrowScratch(buf->size());
   std::merge(buf->begin(), buf->begin() + static_cast<long>(mid),
              buf->begin() + static_cast<long>(mid), buf->end(),
              merge_buf_.begin());
-  buf->swap(merge_buf_);
+  buf->assign(merge_buf_.data(), merge_buf_.data() + buf->size());
 }
 
 void CompactorSummary::CompactLevel(size_t level) {
@@ -180,16 +406,35 @@ void CompactorSummary::CompactLevel(size_t level) {
   // Compact an even prefix so total weight is conserved exactly; an odd
   // straggler stays behind for the next compaction. The buffer was just
   // consolidated, so promotion is a stride-2 pass whose output is itself
-  // sorted — it lands on the next level's staging tail as one more run,
-  // merged only when that level consolidates. Each element is fully
-  // sorted exactly once per level it passes through.
+  // sorted; it merges eagerly with the next level's content, keeping
+  // every level above 0 permanently consolidated — upper-level
+  // EnsureSorted/export calls are then no-ops, and a buffer holds at
+  // most two promotions' worth before its own compaction, so the eager
+  // merge touches each element a bounded number of times with none of
+  // the staged-run bookkeeping.
   size_t take = buf.size() & ~size_t{1};
   if (take < 2) return;
   size_t offset = rng_.Bernoulli(0.5) ? 1 : 0;
+  size_t promoted = take / 2;
   auto& up = levels_[level + 1];
-  size_t up_old = up.size();
-  for (size_t i = offset; i < take; i += 2) up.push_back(buf[i]);
-  NoteAscendingAppend(level + 1, up_old);
+  if (up.empty()) {
+    up.resize(promoted);
+    size_t out = 0;
+    for (size_t i = offset; i < take; i += 2) up[out++] = buf[i];
+  } else {
+    EnsureSorted(level + 1);  // no-op except after MergeFrom
+    promote_buf_.resize(promoted);
+    size_t out = 0;
+    for (size_t i = offset; i < take; i += 2) promote_buf_[out++] = buf[i];
+    size_t up_size = up.size() + promoted;
+    GrowScratch(up_size);
+    std::merge(up.begin(), up.end(), promote_buf_.begin(),
+               promote_buf_.end(), merge_buf_.begin());
+    up.assign(merge_buf_.data(), merge_buf_.data() + up_size);
+  }
+  sorted_[level + 1] = up.size();
+  seg_bounds_[level + 1].clear();
+  seg_dirty_[level + 1] = 0;
   // Keep any straggler (index >= take; at most one element).
   buf.erase(buf.begin(), buf.begin() + static_cast<long>(take));
   sorted_[level] = buf.size();

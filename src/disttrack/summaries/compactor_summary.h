@@ -40,11 +40,13 @@
 #ifndef DISTTRACK_SUMMARIES_COMPACTOR_SUMMARY_H_
 #define DISTTRACK_SUMMARIES_COMPACTOR_SUMMARY_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "disttrack/common/random.h"
+#include "disttrack/summaries/run_ladder.h"
 
 namespace disttrack {
 namespace summaries {
@@ -74,6 +76,20 @@ class CompactorSummary {
   /// run as a single pre-sorted segment — consolidation (EnsureSorted)
   /// then merges whole runs instead of comparison-sorting elements.
   void InsertSortedBatch(const uint64_t* values, size_t count);
+
+  /// Borrowed-view InsertSortedBatch: inserts `total` values given as
+  /// `num_views` ascending segments of shared storage (a RunLadder pull)
+  /// that stay valid only for the duration of this call. The views are
+  /// merged with the level-0 residue straight into the consolidated
+  /// buffer — no staging copy, no re-merge — whether or not the
+  /// compaction threshold is reached (a sub-threshold flush tail is then
+  /// already consolidated when ExportLevels reads it); a single
+  /// over-threshold view on a bare residue compacts without even that
+  /// merge, via the virtual cascade. Produces the same level-0 sorted
+  /// multiset at the same compaction points as staging the identical
+  /// data, so the summary stream is bit-identical either way.
+  void InsertSortedViews(const RunView* views, size_t num_views,
+                         size_t total);
 
   /// Unbiased estimate of |{y in stream : y < x}|; monotone in x.
   double EstimateRank(uint64_t x) const;
@@ -111,6 +127,10 @@ class CompactorSummary {
   uint64_t m() const { return m_; }
   double eps() const { return eps_; }
   size_t buffer_capacity() const { return capacity_; }
+  /// Current level-0 buffer fill (compacted straggler plus staged runs);
+  /// the rank tracker's ladder pump compares it against buffer_capacity()
+  /// to decide when a level is due for a pull.
+  size_t level0_size() const { return levels_[0].size(); }
   /// Levels in use (through the highest nonempty buffer; >= 1). Reset()
   /// retains emptied levels for reuse, so this is not the raw buffer
   /// count.
@@ -139,9 +159,35 @@ class CompactorSummary {
   // ~log2(#runs) passes where a comparison sort would do log2(n), and
   // each element is fully sorted exactly once per level.
   void EnsureSorted(size_t level);
+  // Merges the consolidated level-0 buffer with `num_views` borrowed
+  // ascending segments into one sorted level-0 buffer (single pass, via
+  // merge_buf_). Callers consolidated level 0 first.
+  void MergeViewsIntoBase(const RunView* views, size_t num_views,
+                          size_t total);
+  // Grows merge_buf_ geometrically to at least `need` elements. The
+  // scratch is write-before-read and never shrinks, so growth (and its
+  // value-initialization pass) is amortized away instead of being paid on
+  // every merge the way an exact resize or a buffer swap would pay it.
+  void GrowScratch(size_t need) {
+    if (merge_buf_.size() < need) {
+      merge_buf_.resize(std::max(need, merge_buf_.size() * 2));
+    }
+  }
   void CompactLevel(size_t level);
   // Compacts every over-capacity level bottom-up, one pass.
   void Cascade();
+  // Cascade for a fully consolidated over-capacity level-0 buffer (the
+  // state every ladder pull produces): composes the stride-2 promotions
+  // through empty upper levels into direct strided gathers, materializing
+  // only stragglers and the first surviving slice — same coins, same
+  // kept elements, so bit-identical to the real cascade at a fraction of
+  // the moves.
+  void CascadeSortedBase();
+  // Accessor-based core of CascadeSortedBase, shared with the zero-copy
+  // borrowed-view ingest (see the definition for the full argument).
+  // Returns true when the caller must finish with the ordinary Cascade().
+  template <class GetFn>
+  bool CascadeVirtual(GetFn get, size_t len);
   // Records the boundary of a tail append of `count` ascending values
   // starting at offset `old_size` of level `l` (extends the previous
   // segment when the order allows).
@@ -168,7 +214,14 @@ class CompactorSummary {
   std::vector<std::vector<size_t>> seg_bounds_;
   std::vector<uint8_t> seg_dirty_;
   std::vector<uint64_t> merge_buf_;  // MergeSortedTail / SortTail scratch
+  std::vector<uint64_t> promote_buf_;  // CompactLevel promotion scratch
   std::vector<size_t> run_bounds_;   // SortTail run-boundary scratch
+  // MergeViewsIntoBase scratch: gathered (pointer, length) sources and
+  // the second ping-pong buffer for 3+-way merges.
+  std::vector<std::pair<const uint64_t*, size_t>> view_merge_srcs_;
+  std::vector<uint64_t> view_merge_buf_;
+  // CascadeSortedBase scratch: (virtual level, value) odd stragglers.
+  std::vector<std::pair<size_t, uint64_t>> straggler_scratch_;
 };
 
 }  // namespace summaries

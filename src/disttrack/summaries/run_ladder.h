@@ -1,0 +1,124 @@
+// Shared per-site run-merge ladder for the rank tracker's compactor tree.
+//
+// Algorithm C (§4) feeds every arrival to all h+1 levels of its dyadic
+// node tree. The batched hot path delivers those arrivals as sorted runs,
+// and before this ladder existed each level staged its own copy of every
+// run and re-merged them independently at its own compaction cadence —
+// the same merge volume paid h+1 times (the profile shows it as the
+// dominant rank cost). The ladder consolidates each site's runs ONCE and
+// lets every level consume windows of the shared merged sequence through
+// borrowed views (CompactorSummary::InsertSortedViews), so the deep
+// small-run-into-big-run merging is shared and each level only merges a
+// handful of pre-consolidated segments per compaction.
+//
+// Contract:
+//  * AppendSortedRun / AppendValue add data at the logical end of the
+//    stream. Runs are stored sorted; logical positions only order runs
+//    against cursors, never elements within a run.
+//  * One cursor per consumer (tree level). pending(c) is the element
+//    count appended since cursor c last pulled. Pull(c) returns borrowed
+//    views of whole runs covering exactly [cursor_c, end) and advances
+//    the cursor; views stay valid until the next Append*/Consolidate/
+//    Reset call.
+//  * Consolidate() merges adjacent runs binary-counter style (merge when
+//    the older neighbour is no bigger) and trims runs every cursor has
+//    consumed. A merge never crosses a position some cursor still needs
+//    to pull from, which keeps every cursor run-aligned; callers pump
+//    consumers first, then consolidate, so up-to-date cursors never pin
+//    the tail. Node windows therefore align with run boundaries by
+//    construction — the tracker appends the window-closing event arrival
+//    as a one-element straggler run before flushing the node.
+//
+// Space: runs older than the slowest cursor are trimmed, so the ladder
+// holds at most ~max pull window (the largest level capacity) elements —
+// the staging memory it removes from the h+1 compactors, paid once.
+
+#ifndef DISTTRACK_SUMMARIES_RUN_LADDER_H_
+#define DISTTRACK_SUMMARIES_RUN_LADDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace disttrack {
+namespace summaries {
+
+/// Borrowed view of one ascending run in ladder storage.
+struct RunView {
+  const uint64_t* data;
+  size_t size;
+};
+
+/// Sorted-run accumulator with per-consumer cursors (see file comment).
+class RunLadder {
+ public:
+  /// Drops all buffered data and re-registers `num_cursors` consumers,
+  /// all positioned at the current end (nothing pending).
+  void Reset(size_t num_cursors);
+
+  /// Appends `count` values forming one ascending run (caller sorts).
+  void AppendSortedRun(const uint64_t* values, size_t count);
+
+  /// AppendSortedRun taking ownership of the buffer — no copy unless the
+  /// run extends the previous one in place. The moved-from vector comes
+  /// back holding a recycled buffer, ready to refill.
+  void AppendSortedVector(std::vector<uint64_t>* values);
+
+  /// Appends a single value (a one-element run; extends the last run in
+  /// place when order and cursor alignment allow).
+  void AppendValue(uint64_t value);
+
+  /// Fills `views` with segments covering [cursor, end) — whole runs, in
+  /// position order — advances the cursor to end, and returns the total
+  /// element count. Views are invalidated by the next mutating call.
+  size_t Pull(size_t cursor, std::vector<RunView>* views);
+
+  /// Binary-counter merge of the tail plus a trim of fully-consumed
+  /// runs. Call after pulling consumers that were due (their cursors no
+  /// longer pin the fresh tail).
+  void Consolidate();
+
+  /// Elements appended after `cursor`'s position.
+  uint64_t pending(size_t cursor) const {
+    return end_ - cursors_[cursor];
+  }
+
+  uint64_t end() const { return end_; }
+  size_t num_cursors() const { return cursors_.size(); }
+  size_t run_count() const { return runs_.size(); }
+
+  /// Elements currently buffered (trimmed runs excluded).
+  uint64_t held() const;
+
+  /// Space charged to the owning site: buffered values plus one word per
+  /// run header and cursor.
+  uint64_t SpaceWords() const;
+
+ private:
+  struct Run {
+    uint64_t start = 0;  // logical position of values.front()
+    std::vector<uint64_t> values;
+  };
+
+  bool CursorAt(uint64_t position) const;
+  std::vector<uint64_t> TakeBuffer();
+  void Recycle(std::vector<uint64_t>&& buffer);
+  void Trim();
+  void MergeTail();
+
+  std::vector<Run> runs_;  // position-ordered; front is oldest
+  std::vector<uint64_t> cursors_;
+  uint64_t end_ = 0;  // logical position one past the last element
+  // Cursors currently positioned exactly at end_ (maintained so the
+  // append fast path answers "may the last run be extended in place?"
+  // without scanning): Pull moves one cursor to end_, any append moves
+  // end_ past every cursor, Reset parks them all there.
+  size_t cursors_at_end_ = 0;
+  bool trim_pending_ = false;  // a Pull advanced a cursor since last Trim
+  std::vector<std::vector<uint64_t>> pool_;  // recycled run buffers
+};
+
+}  // namespace summaries
+}  // namespace disttrack
+
+#endif  // DISTTRACK_SUMMARIES_RUN_LADDER_H_

@@ -214,6 +214,170 @@ TEST(BatchEquivalenceTest, RankBatchedCompactionDistributionMatchesScalar) {
   EXPECT_LE(mean_gap, 4.0 * pooled_sd + 1e-9);
 }
 
+// ---- shared run-merge ladder (use_shared_ladder) -------------------------
+
+// Under the exact per-element feed (use_batch_compaction=false), routing
+// every site's arrivals through the shared RunLadder must be bit-identical
+// to the per-level staging path: each level pulls exactly when staging
+// would have tripped its compaction threshold, the consolidated buffer
+// holds the same multiset, and the coin sequences line up draw for draw.
+// The workload crosses many rounds, so p-halving broadcasts land while
+// the ladder holds unpulled one-element straggler runs — the reset path.
+TEST(BatchEquivalenceTest, RankLadderExactFeedBitIdenticalToStagedLevels) {
+  const int k = 8;
+  const uint64_t kN = 60000;
+  for (uint64_t seed : {1ull, 7ull, 13ull}) {
+    auto w = MakeRankWorkload(k, kN, SiteSchedule::kUniformRandom,
+                              stream::ValueOrder::kUniformRandom, 16,
+                              100 + seed);
+    rank::RandomizedRankOptions o;
+    o.num_sites = k;
+    o.epsilon = 0.02;
+    o.seed = seed;
+    o.use_batch_compaction = false;  // exact feed
+    o.use_shared_ladder = true;
+    rank::RandomizedRankTracker ladder(o);
+    o.use_shared_ladder = false;
+    rank::RandomizedRankTracker staged(o);
+    // Ragged batched delivery for the ladder tracker (falls back to the
+    // per-element feed, with run boundaries straddling node windows at
+    // arbitrary offsets), plain scalar delivery for the staged one.
+    DeliverRagged(&ladder, w, seed);
+    for (const auto& a : w) staged.Arrive(a.site, a.key);
+    ASSERT_GT(staged.rounds(), 10u) << "broadcasts must land mid-ladder";
+    for (uint64_t q : {100ull, 9000ull, 30000ull, 65000ull}) {
+      ASSERT_DOUBLE_EQ(ladder.EstimateRank(q), staged.EstimateRank(q))
+          << "seed " << seed << " q " << q;
+    }
+    EXPECT_EQ(ladder.meter().TotalMessages(), staged.meter().TotalMessages());
+    EXPECT_EQ(ladder.meter().TotalWords(), staged.meter().TotalWords());
+    EXPECT_EQ(ladder.rounds(), staged.rounds());
+  }
+}
+
+// Straggler-heavy variant: a large confidence factor keeps p high, so the
+// tail channel fires every few arrivals and nearly every ladder append is
+// the one-element straggler run of an event arrival.
+TEST(BatchEquivalenceTest, RankLadderExactFeedStragglerPathBitIdentical) {
+  const int k = 4;
+  const uint64_t kN = 30000;
+  auto w = MakeRankWorkload(k, kN, SiteSchedule::kUniformRandom,
+                            stream::ValueOrder::kUniformRandom, 14, 71);
+  rank::RandomizedRankOptions o;
+  o.num_sites = k;
+  o.epsilon = 0.05;
+  o.seed = 29;
+  o.confidence_factor = 16.0;  // p stays large: dense tail events
+  o.use_batch_compaction = false;
+  o.use_shared_ladder = true;
+  rank::RandomizedRankTracker ladder(o);
+  o.use_shared_ladder = false;
+  rank::RandomizedRankTracker staged(o);
+  for (const auto& a : w) {
+    ladder.Arrive(a.site, a.key);
+    staged.Arrive(a.site, a.key);
+  }
+  for (uint64_t q : {64ull, 4096ull, 12000ull, 20000ull}) {
+    ASSERT_DOUBLE_EQ(ladder.EstimateRank(q), staged.EstimateRank(q));
+  }
+  EXPECT_EQ(ladder.meter().TotalWords(), staged.meter().TotalWords());
+}
+
+// The batched feed (use_batch_compaction=true) defers ladder pulls to
+// dyadic quanta — fewer, larger compactions than the per-level staging
+// path, so not bit-identical; the error distribution at a fixed query
+// must match (same KS methodology as the batched-vs-scalar test above).
+TEST(BatchEquivalenceTest, RankLadderBatchedFeedDistributionMatchesStaged) {
+  const int k = 8;
+  const uint64_t kN = 20000;
+  const double eps = 0.05;
+  auto w = MakeRankWorkload(k, kN, SiteSchedule::kUniformRandom,
+                            stream::ValueOrder::kUniformRandom, 16, 47);
+  const uint64_t query = 1u << 15;
+  uint64_t truth = stream::ExactRank(w, query);
+  const int kTrials = 120;
+  auto run = [&](bool shared_ladder, uint64_t base_seed) {
+    return testing_util::CollectErrors(
+        kTrials,
+        [&](uint64_t seed) {
+          rank::RandomizedRankOptions o;
+          o.num_sites = k;
+          o.epsilon = eps;
+          o.seed = seed;
+          o.use_shared_ladder = shared_ladder;
+          rank::RandomizedRankTracker tracker(o);
+          tracker.ArriveBatch(w.data(), w.size());
+          return tracker.EstimateRank(query) - static_cast<double>(truth);
+        },
+        base_seed);
+  };
+  auto ladder_errors = run(true, 11000);
+  auto staged_errors = run(false, 11500);
+  double d = KsStatistic(ladder_errors, staged_errors);
+  EXPECT_LE(d, KsThreshold(ladder_errors.size(), staged_errors.size()))
+      << "shared-ladder error distribution drifted from per-level staging";
+  double mean_gap = std::fabs(testing_util::MeanOf(ladder_errors) -
+                              testing_util::MeanOf(staged_errors));
+  double pooled_sd = std::sqrt((testing_util::VarianceOf(ladder_errors) +
+                                testing_util::VarianceOf(staged_errors)) /
+                               kTrials);
+  EXPECT_LE(mean_gap, 4.0 * pooled_sd + 1e-9);
+}
+
+// Borrowed-view ingest vs owned staging at the summary level: one
+// over-capacity sorted view into a fresh summary must reproduce
+// InsertSortedBatch of the same data bit for bit (the virtual cascade
+// draws the same coins and keeps the same elements).
+TEST(BatchEquivalenceTest, CompactorSortedViewsMatchSortedBatchExactly) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<uint64_t> data(20 + rng.UniformU64(800));
+    for (auto& v : data) v = rng.UniformU64(1 << 20);
+    std::sort(data.begin(), data.end());
+    uint64_t seed = 9000 + trial;
+    summaries::CompactorSummary by_view(0.1, seed);
+    summaries::CompactorSummary by_batch(0.1, seed);
+    summaries::RunView view{data.data(), data.size()};
+    by_view.InsertSortedViews(&view, 1, data.size());
+    by_batch.InsertSortedBatch(data.data(), data.size());
+    EXPECT_EQ(by_view.WeightTotal(), by_batch.WeightTotal());
+    EXPECT_EQ(by_view.m(), by_batch.m());
+    ASSERT_EQ(by_view.Items(), by_batch.Items()) << "trial " << trial;
+  }
+}
+
+// Multi-view pulls conserve weight exactly and answer queries like the
+// equivalent concatenated batch feed (staged under capacity, merged and
+// compacted above it).
+TEST(BatchEquivalenceTest, CompactorSortedViewsConserveWeight) {
+  Rng rng(171);
+  summaries::CompactorSummary summary(0.05, 555);
+  uint64_t total = 0;
+  std::vector<std::vector<uint64_t>> runs;
+  std::vector<summaries::RunView> views;
+  for (int round = 0; round < 40; ++round) {
+    runs.clear();
+    views.clear();
+    size_t num_views = 1 + rng.UniformU64(6);
+    size_t count = 0;
+    for (size_t v = 0; v < num_views; ++v) {
+      runs.emplace_back();
+      size_t len = rng.UniformU64(60);
+      for (size_t i = 0; i < len; ++i) {
+        runs.back().push_back(rng.UniformU64(1 << 20));
+      }
+      std::sort(runs.back().begin(), runs.back().end());
+      views.push_back(
+          summaries::RunView{runs.back().data(), runs.back().size()});
+      count += len;
+    }
+    summary.InsertSortedViews(views.data(), views.size(), count);
+    total += count;
+    ASSERT_EQ(summary.WeightTotal(), total);
+  }
+  EXPECT_EQ(summary.m(), total);
+}
+
 TEST(BatchEquivalenceTest, CompactorInsertBatchConservesWeightExactly) {
   Rng rng(77);
   for (int trial = 0; trial < 20; ++trial) {
