@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_stress.dir/examples/adversarial_stress.cpp.o"
+  "CMakeFiles/adversarial_stress.dir/examples/adversarial_stress.cpp.o.d"
+  "adversarial_stress"
+  "adversarial_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

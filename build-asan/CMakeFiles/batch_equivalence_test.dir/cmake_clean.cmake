@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_equivalence_test.dir/tests/batch_equivalence_test.cc.o"
+  "CMakeFiles/batch_equivalence_test.dir/tests/batch_equivalence_test.cc.o.d"
+  "batch_equivalence_test"
+  "batch_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_summaries.dir/bench/bench_summaries.cpp.o"
+  "CMakeFiles/bench_summaries.dir/bench/bench_summaries.cpp.o.d"
+  "bench_summaries"
+  "bench_summaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_summaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/count_test.dir/tests/count_test.cc.o"
+  "CMakeFiles/count_test.dir/tests/count_test.cc.o.d"
+  "count_test"
+  "count_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/count_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_table_test.dir/tests/counter_table_test.cc.o"
+  "CMakeFiles/counter_table_test.dir/tests/counter_table_test.cc.o.d"
+  "counter_table_test"
+  "counter_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

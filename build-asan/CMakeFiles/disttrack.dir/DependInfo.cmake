@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disttrack/common/random.cc" "CMakeFiles/disttrack.dir/src/disttrack/common/random.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/common/random.cc.o.d"
+  "/root/repo/src/disttrack/common/stats.cc" "CMakeFiles/disttrack.dir/src/disttrack/common/stats.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/common/stats.cc.o.d"
+  "/root/repo/src/disttrack/core/median_booster.cc" "CMakeFiles/disttrack.dir/src/disttrack/core/median_booster.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/core/median_booster.cc.o.d"
+  "/root/repo/src/disttrack/core/quantile.cc" "CMakeFiles/disttrack.dir/src/disttrack/core/quantile.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/core/quantile.cc.o.d"
+  "/root/repo/src/disttrack/core/tracking.cc" "CMakeFiles/disttrack.dir/src/disttrack/core/tracking.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/core/tracking.cc.o.d"
+  "/root/repo/src/disttrack/count/coarse_tracker.cc" "CMakeFiles/disttrack.dir/src/disttrack/count/coarse_tracker.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/count/coarse_tracker.cc.o.d"
+  "/root/repo/src/disttrack/count/deterministic_count.cc" "CMakeFiles/disttrack.dir/src/disttrack/count/deterministic_count.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/count/deterministic_count.cc.o.d"
+  "/root/repo/src/disttrack/count/randomized_count.cc" "CMakeFiles/disttrack.dir/src/disttrack/count/randomized_count.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/count/randomized_count.cc.o.d"
+  "/root/repo/src/disttrack/frequency/deterministic_frequency.cc" "CMakeFiles/disttrack.dir/src/disttrack/frequency/deterministic_frequency.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/frequency/deterministic_frequency.cc.o.d"
+  "/root/repo/src/disttrack/frequency/randomized_frequency.cc" "CMakeFiles/disttrack.dir/src/disttrack/frequency/randomized_frequency.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/frequency/randomized_frequency.cc.o.d"
+  "/root/repo/src/disttrack/rank/deterministic_rank.cc" "CMakeFiles/disttrack.dir/src/disttrack/rank/deterministic_rank.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/rank/deterministic_rank.cc.o.d"
+  "/root/repo/src/disttrack/rank/randomized_rank.cc" "CMakeFiles/disttrack.dir/src/disttrack/rank/randomized_rank.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/rank/randomized_rank.cc.o.d"
+  "/root/repo/src/disttrack/sampling/distributed_sampler.cc" "CMakeFiles/disttrack.dir/src/disttrack/sampling/distributed_sampler.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/sampling/distributed_sampler.cc.o.d"
+  "/root/repo/src/disttrack/sim/cluster.cc" "CMakeFiles/disttrack.dir/src/disttrack/sim/cluster.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/sim/cluster.cc.o.d"
+  "/root/repo/src/disttrack/sim/comm_meter.cc" "CMakeFiles/disttrack.dir/src/disttrack/sim/comm_meter.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/sim/comm_meter.cc.o.d"
+  "/root/repo/src/disttrack/sim/space_gauge.cc" "CMakeFiles/disttrack.dir/src/disttrack/sim/space_gauge.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/sim/space_gauge.cc.o.d"
+  "/root/repo/src/disttrack/stream/hard_instances.cc" "CMakeFiles/disttrack.dir/src/disttrack/stream/hard_instances.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/stream/hard_instances.cc.o.d"
+  "/root/repo/src/disttrack/stream/workload.cc" "CMakeFiles/disttrack.dir/src/disttrack/stream/workload.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/stream/workload.cc.o.d"
+  "/root/repo/src/disttrack/stream/zipf.cc" "CMakeFiles/disttrack.dir/src/disttrack/stream/zipf.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/stream/zipf.cc.o.d"
+  "/root/repo/src/disttrack/summaries/bernoulli_summary.cc" "CMakeFiles/disttrack.dir/src/disttrack/summaries/bernoulli_summary.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/summaries/bernoulli_summary.cc.o.d"
+  "/root/repo/src/disttrack/summaries/compactor_summary.cc" "CMakeFiles/disttrack.dir/src/disttrack/summaries/compactor_summary.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/summaries/compactor_summary.cc.o.d"
+  "/root/repo/src/disttrack/summaries/gk_summary.cc" "CMakeFiles/disttrack.dir/src/disttrack/summaries/gk_summary.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/summaries/gk_summary.cc.o.d"
+  "/root/repo/src/disttrack/summaries/misra_gries.cc" "CMakeFiles/disttrack.dir/src/disttrack/summaries/misra_gries.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/summaries/misra_gries.cc.o.d"
+  "/root/repo/src/disttrack/summaries/reservoir.cc" "CMakeFiles/disttrack.dir/src/disttrack/summaries/reservoir.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/summaries/reservoir.cc.o.d"
+  "/root/repo/src/disttrack/summaries/run_ladder.cc" "CMakeFiles/disttrack.dir/src/disttrack/summaries/run_ladder.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/summaries/run_ladder.cc.o.d"
+  "/root/repo/src/disttrack/summaries/space_saving.cc" "CMakeFiles/disttrack.dir/src/disttrack/summaries/space_saving.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/summaries/space_saving.cc.o.d"
+  "/root/repo/src/disttrack/summaries/sticky_sampling.cc" "CMakeFiles/disttrack.dir/src/disttrack/summaries/sticky_sampling.cc.o" "gcc" "CMakeFiles/disttrack.dir/src/disttrack/summaries/sticky_sampling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

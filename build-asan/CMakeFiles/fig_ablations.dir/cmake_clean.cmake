@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_ablations.dir/bench/fig_ablations.cpp.o"
+  "CMakeFiles/fig_ablations.dir/bench/fig_ablations.cpp.o.d"
+  "fig_ablations"
+  "fig_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_accuracy.dir/bench/fig_accuracy.cpp.o"
+  "CMakeFiles/fig_accuracy.dir/bench/fig_accuracy.cpp.o.d"
+  "fig_accuracy"
+  "fig_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

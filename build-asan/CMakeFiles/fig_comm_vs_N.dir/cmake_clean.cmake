@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_comm_vs_N.dir/bench/fig_comm_vs_N.cpp.o"
+  "CMakeFiles/fig_comm_vs_N.dir/bench/fig_comm_vs_N.cpp.o.d"
+  "fig_comm_vs_N"
+  "fig_comm_vs_N.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_comm_vs_N.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

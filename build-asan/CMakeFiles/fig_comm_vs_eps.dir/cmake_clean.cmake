@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_comm_vs_eps.dir/bench/fig_comm_vs_eps.cpp.o"
+  "CMakeFiles/fig_comm_vs_eps.dir/bench/fig_comm_vs_eps.cpp.o.d"
+  "fig_comm_vs_eps"
+  "fig_comm_vs_eps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_comm_vs_eps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_comm_vs_eps.
+# This may be replaced when dependencies are built.

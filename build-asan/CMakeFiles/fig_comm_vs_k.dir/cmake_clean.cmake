@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_comm_vs_k.dir/bench/fig_comm_vs_k.cpp.o"
+  "CMakeFiles/fig_comm_vs_k.dir/bench/fig_comm_vs_k.cpp.o.d"
+  "fig_comm_vs_k"
+  "fig_comm_vs_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_comm_vs_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_crossover.dir/bench/fig_crossover.cpp.o"
+  "CMakeFiles/fig_crossover.dir/bench/fig_crossover.cpp.o.d"
+  "fig_crossover"
+  "fig_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_lowerbound_1bit.dir/bench/fig_lowerbound_1bit.cpp.o"
+  "CMakeFiles/fig_lowerbound_1bit.dir/bench/fig_lowerbound_1bit.cpp.o.d"
+  "fig_lowerbound_1bit"
+  "fig_lowerbound_1bit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_lowerbound_1bit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_lowerbound_1bit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_lowerbound_oneway.dir/bench/fig_lowerbound_oneway.cpp.o"
+  "CMakeFiles/fig_lowerbound_oneway.dir/bench/fig_lowerbound_oneway.cpp.o.d"
+  "fig_lowerbound_oneway"
+  "fig_lowerbound_oneway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_lowerbound_oneway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_space.dir/bench/fig_space.cpp.o"
+  "CMakeFiles/fig_space.dir/bench/fig_space.cpp.o.d"
+  "fig_space"
+  "fig_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

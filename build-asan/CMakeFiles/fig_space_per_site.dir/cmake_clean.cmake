@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_space_per_site.dir/bench/fig_space_per_site.cpp.o"
+  "CMakeFiles/fig_space_per_site.dir/bench/fig_space_per_site.cpp.o.d"
+  "fig_space_per_site"
+  "fig_space_per_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_space_per_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

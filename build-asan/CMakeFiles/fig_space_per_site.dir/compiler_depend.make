@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_space_per_site.
+# This may be replaced when dependencies are built.

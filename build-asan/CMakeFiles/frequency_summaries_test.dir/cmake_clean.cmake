@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequency_summaries_test.dir/tests/frequency_summaries_test.cc.o"
+  "CMakeFiles/frequency_summaries_test.dir/tests/frequency_summaries_test.cc.o.d"
+  "frequency_summaries_test"
+  "frequency_summaries_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequency_summaries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequency_test.dir/tests/frequency_test.cc.o"
+  "CMakeFiles/frequency_test.dir/tests/frequency_test.cc.o.d"
+  "frequency_test"
+  "frequency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_quantile_dashboard.dir/examples/latency_quantile_dashboard.cpp.o"
+  "CMakeFiles/latency_quantile_dashboard.dir/examples/latency_quantile_dashboard.cpp.o.d"
+  "latency_quantile_dashboard"
+  "latency_quantile_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_quantile_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

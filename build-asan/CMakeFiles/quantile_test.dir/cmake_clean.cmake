@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantile_test.dir/tests/quantile_test.cc.o"
+  "CMakeFiles/quantile_test.dir/tests/quantile_test.cc.o.d"
+  "quantile_test"
+  "quantile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

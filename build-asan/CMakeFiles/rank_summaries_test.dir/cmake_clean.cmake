@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_summaries_test.dir/tests/rank_summaries_test.cc.o"
+  "CMakeFiles/rank_summaries_test.dir/tests/rank_summaries_test.cc.o.d"
+  "rank_summaries_test"
+  "rank_summaries_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_summaries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_test.dir/tests/rank_test.cc.o"
+  "CMakeFiles/rank_test.dir/tests/rank_test.cc.o.d"
+  "rank_test"
+  "rank_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

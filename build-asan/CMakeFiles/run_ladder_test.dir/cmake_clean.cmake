@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_ladder_test.dir/tests/run_ladder_test.cc.o"
+  "CMakeFiles/run_ladder_test.dir/tests/run_ladder_test.cc.o.d"
+  "run_ladder_test"
+  "run_ladder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_ladder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_fleet_monitoring.dir/examples/sensor_fleet_monitoring.cpp.o"
+  "CMakeFiles/sensor_fleet_monitoring.dir/examples/sensor_fleet_monitoring.cpp.o.d"
+  "sensor_fleet_monitoring"
+  "sensor_fleet_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_fleet_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skip_equivalence_test.dir/tests/skip_equivalence_test.cc.o"
+  "CMakeFiles/skip_equivalence_test.dir/tests/skip_equivalence_test.cc.o.d"
+  "skip_equivalence_test"
+  "skip_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skip_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

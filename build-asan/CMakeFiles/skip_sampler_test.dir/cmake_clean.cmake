@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skip_sampler_test.dir/tests/skip_sampler_test.cc.o"
+  "CMakeFiles/skip_sampler_test.dir/tests/skip_sampler_test.cc.o.d"
+  "skip_sampler_test"
+  "skip_sampler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skip_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stat_acceptance_test.dir/tests/stat_acceptance_test.cc.o"
+  "CMakeFiles/stat_acceptance_test.dir/tests/stat_acceptance_test.cc.o.d"
+  "stat_acceptance_test"
+  "stat_acceptance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stat_acceptance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

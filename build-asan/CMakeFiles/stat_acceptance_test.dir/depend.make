@@ -1,0 +1,2 @@
+# Empty dependencies file for stat_acceptance_test.
+# This may be replaced when dependencies are built.

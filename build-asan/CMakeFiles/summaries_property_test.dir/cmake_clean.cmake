@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summaries_property_test.dir/tests/summaries_property_test.cc.o"
+  "CMakeFiles/summaries_property_test.dir/tests/summaries_property_test.cc.o.d"
+  "summaries_property_test"
+  "summaries_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summaries_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

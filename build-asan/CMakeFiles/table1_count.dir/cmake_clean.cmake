@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_count.dir/bench/table1_count.cpp.o"
+  "CMakeFiles/table1_count.dir/bench/table1_count.cpp.o.d"
+  "table1_count"
+  "table1_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

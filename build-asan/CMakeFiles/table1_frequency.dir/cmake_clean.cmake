@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_frequency.dir/bench/table1_frequency.cpp.o"
+  "CMakeFiles/table1_frequency.dir/bench/table1_frequency.cpp.o.d"
+  "table1_frequency"
+  "table1_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_rank.dir/bench/table1_rank.cpp.o"
+  "CMakeFiles/table1_rank.dir/bench/table1_rank.cpp.o.d"
+  "table1_rank"
+  "table1_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

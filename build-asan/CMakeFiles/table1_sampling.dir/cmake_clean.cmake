@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_sampling.dir/bench/table1_sampling.cpp.o"
+  "CMakeFiles/table1_sampling.dir/bench/table1_sampling.cpp.o.d"
+  "table1_sampling"
+  "table1_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
