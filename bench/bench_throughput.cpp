@@ -33,6 +33,7 @@
 
 #include "disttrack/core/tracking.h"
 #include "disttrack/sim/cluster.h"
+#include "disttrack/sim/parallel_cluster.h"
 #include "disttrack/stream/workload.h"
 
 namespace {
@@ -419,6 +420,29 @@ int main(int argc, char** argv) {
         }
         entries.push_back(e);
       }
+      // Sharded replay rows: same site stream, same checkpoint schedule
+      // as skip_batched, through sim::ParallelCluster. The plan pass is
+      // included in the timing (it is part of the replay).
+      for (int threads : {1, 4}) {
+        sim::ParallelCluster cluster(threads);
+        BenchEntry e = TimeConfig(
+            "count", "cluster_t" + std::to_string(threads), sched_name, k,
+            n_count, eps, reps,
+            [&] { return MakeCount(Options(k, eps, true)); },
+            [&](sim::CountTrackerInterface* t) {
+              double t0 = Now();
+              auto checkpoints = cluster.ReplayCountSites(t, sites, 1.5);
+              double secs = Now() - t0;
+              const sim::Checkpoint& last = checkpoints.back();
+              double rel = last.n == 0
+                               ? 0.0
+                               : std::abs(last.estimate - last.truth) /
+                                     static_cast<double>(last.n);
+              return std::pair<double, double>(secs, rel);
+            });
+        PrintEntry(e);
+        entries.push_back(e);
+      }
     }
 
     // ---- frequency: uniform and Zipf(1.1) items, A/B.
@@ -442,6 +466,30 @@ int main(int argc, char** argv) {
                                ? 0.0
                                : std::abs(t->EstimateFrequency(0) -
                                           static_cast<double>(truth)) /
+                                     static_cast<double>(n_freq);
+              return std::pair<double, double>(secs, rel);
+            });
+        PrintEntry(e);
+        entries.push_back(e);
+      }
+      // Sharded replay rows. The serial frequency rows above deliver in
+      // 64K chunks without checkpoint sampling, so the cluster rows use a
+      // huge checkpoint factor (start + end samples only) to compare
+      // delivery engines rather than estimate-query cost.
+      for (int threads : {1, 4}) {
+        sim::ParallelCluster cluster(threads);
+        BenchEntry e = TimeConfig(
+            "frequency", "cluster_t" + std::to_string(threads), dist_name, k,
+            n_freq, eps, reps,
+            [&] { return MakeFrequency(Options(k, eps, true)); },
+            [&](sim::FrequencyTrackerInterface* t) {
+              double t0 = Now();
+              auto checkpoints = cluster.ReplayFrequency(t, w, 0, 1e9);
+              double secs = Now() - t0;
+              const sim::Checkpoint& last = checkpoints.back();
+              double rel = n_freq == 0
+                               ? 0.0
+                               : std::abs(last.estimate - last.truth) /
                                      static_cast<double>(n_freq);
               return std::pair<double, double>(secs, rel);
             });
@@ -500,6 +548,27 @@ int main(int argc, char** argv) {
                    std::strcmp(dist_name, "uniform") == 0) {
           rank_speedups.emplace_back(k, staged_secs / e.seconds);
         }
+        entries.push_back(e);
+      }
+      // Sharded replay rows (same sparse-sample rationale as frequency).
+      for (int threads : {1, 4}) {
+        sim::ParallelCluster cluster(threads);
+        BenchEntry e = TimeConfig(
+            "rank", "cluster_t" + std::to_string(threads), dist_name, k,
+            n_rank, eps, reps,
+            [&] { return MakeRank(Options(k, eps, true)); },
+            [&](sim::RankTrackerInterface* t) {
+              double t0 = Now();
+              auto checkpoints = cluster.ReplayRank(t, w, query, 1e9);
+              double secs = Now() - t0;
+              const sim::Checkpoint& last = checkpoints.back();
+              double rel = n_rank == 0
+                               ? 0.0
+                               : std::abs(last.estimate - last.truth) /
+                                     static_cast<double>(n_rank);
+              return std::pair<double, double>(secs, rel);
+            });
+        PrintEntry(e);
         entries.push_back(e);
       }
     }

@@ -1,6 +1,8 @@
 #include "disttrack/count/coarse_tracker.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace disttrack {
 namespace count {
@@ -35,6 +37,40 @@ void CoarseTracker::ArriveRun(int site, uint64_t count) {
     s.count += gap;
     count -= gap;
     ReportAndMaybeBroadcast(site);
+  }
+}
+
+void CoarseTracker::AdvanceLocalNoReport(int site, uint64_t count) {
+  SiteState& s = local_[static_cast<size_t>(site)];
+  if (count >= s.next_report - s.count) {
+    std::fprintf(stderr,
+                 "CoarseTracker: eventless shard advance of %llu crosses "
+                 "site %d's report threshold\n",
+                 static_cast<unsigned long long>(count), site);
+    std::abort();
+  }
+  s.count += count;
+}
+
+uint64_t CoarseTracker::ArriveLocal(int site) {
+  SiteState& s = local_[static_cast<size_t>(site)];
+  ++s.count;
+  if (s.count < s.next_report) return 0;
+  uint64_t delta = s.count - s.last_reported;
+  s.last_reported = s.count;
+  s.next_report = s.count * 2;
+  return delta;
+}
+
+void CoarseTracker::ApplyDeferredReport(int site, uint64_t delta) {
+  meter_->RecordUpload(site, 1);
+  n_prime_ += delta;
+  if (n_prime_ >= std::max<uint64_t>(1, 2 * n_bar_)) {
+    std::fprintf(stderr,
+                 "CoarseTracker: deferred report of site %d trips the "
+                 "broadcast condition — the epoch schedule is wrong\n",
+                 site);
+    std::abort();
   }
 }
 

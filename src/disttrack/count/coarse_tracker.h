@@ -53,6 +53,32 @@ class CoarseTracker {
     return s.next_report - s.count;
   }
 
+  // --- Sharded-replay (epoch) support ------------------------------------
+  // During shard ingest a worker thread owns a site and may advance only
+  // its site-local half (count / report thresholds); the coordinator half
+  // (n', n̄, broadcasts, the meter) is updated at the epoch barrier by the
+  // driver thread, via deferred report deltas. Safe to call concurrently
+  // for DISTINCT sites only.
+
+  /// Advances `site` by `count` arrivals known to contain no report
+  /// (requires count < arrivals_until_report(site); aborts otherwise).
+  void AdvanceLocalNoReport(int site, uint64_t count);
+
+  /// One arrival at `site` during shard ingest: advances the local count
+  /// and, when the report threshold is reached, updates the site-local
+  /// report state and returns the n' delta the deferred report carries
+  /// (0 = no report due). The caller buffers the delta and applies it via
+  /// ApplyDeferredReport at the epoch barrier.
+  uint64_t ArriveLocal(int site);
+
+  /// Applies one deferred report at an epoch barrier (driver thread
+  /// only): charges the upload and folds the delta into n'. Aborts if the
+  /// broadcast condition fires — the parallel driver places every
+  /// broadcast-triggering arrival on an epoch boundary, where it is
+  /// delivered through the serial Arrive() path instead, so a deferred
+  /// report can never legitimately trip it.
+  void ApplyDeferredReport(int site, uint64_t delta);
+
   /// Last broadcast value (0 before the first element arrives).
   uint64_t n_bar() const { return n_bar_; }
 

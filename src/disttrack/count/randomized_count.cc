@@ -123,12 +123,19 @@ inline void RandomizedCountTracker::ArriveOne(int site) {
   }
 }
 
-void RandomizedCountTracker::Arrive(int site) { ArriveOne(site); }
+void RandomizedCountTracker::Arrive(int site) {
+  sim::CheckSiteInRange(site, options_.num_sites);
+  ArriveOne(site);
+}
+
+uint64_t RandomizedCountTracker::NextEventGap(int site) const {
+  const SiteState& s = sites_[static_cast<size_t>(site)];
+  return std::min(coarse_->arrivals_until_report(site),
+                  s.skip.pending_skips() + 1);
+}
 
 void RandomizedCountTracker::RearmSite(int site) {
-  SiteState& s = sites_[static_cast<size_t>(site)];
-  countdown_.Arm(site, std::min(coarse_->arrivals_until_report(site),
-                                s.skip.pending_skips() + 1));
+  countdown_.Arm(site, NextEventGap(site));
 }
 
 void RandomizedCountTracker::RearmAll() {
@@ -177,7 +184,10 @@ void RandomizedCountTracker::HandleEventArrival(int site) {
 void RandomizedCountTracker::ArriveBatch(const sim::Arrival* arrivals,
                                          size_t count) {
   if (!options_.use_skip_sampling) {
-    for (size_t i = 0; i < count; ++i) ArriveOne(arrivals[i].site);
+    for (size_t i = 0; i < count; ++i) {
+      sim::CheckSiteInRange(arrivals[i].site, options_.num_sites);
+      ArriveOne(arrivals[i].site);
+    }
     return;
   }
   // Event-countdown engine: one decrement per eventless arrival. n_ is
@@ -188,6 +198,7 @@ void RandomizedCountTracker::ArriveBatch(const sim::Arrival* arrivals,
   uint32_t* until = countdown_.until();
   for (size_t i = 0; i < count; ++i) {
     int site = arrivals[i].site;
+    sim::CheckSiteInRange(site, options_.num_sites);
     if (--until[site] == 0) HandleEventArrival(site);
   }
   ResyncAllMidBatch();
@@ -197,19 +208,98 @@ void RandomizedCountTracker::ArriveBatch(const sim::Arrival* arrivals,
 void RandomizedCountTracker::ArriveSites(const uint16_t* sites,
                                          size_t count) {
   if (!options_.use_skip_sampling) {
-    for (size_t i = 0; i < count; ++i) ArriveOne(sites[i]);
+    for (size_t i = 0; i < count; ++i) {
+      sim::CheckSiteInRange(sites[i], options_.num_sites);
+      ArriveOne(sites[i]);
+    }
     return;
   }
   n_ += count;
   in_batch_ = true;
   RearmAll();
   uint32_t* until = countdown_.until();
+  const unsigned num_sites = static_cast<unsigned>(options_.num_sites);
   for (size_t i = 0; i < count; ++i) {
     unsigned site = sites[i];
+    if (site >= num_sites) sim::CheckSiteInRange(static_cast<int>(site),
+                                                 options_.num_sites);
     if (--until[site] == 0) HandleEventArrival(static_cast<int>(site));
   }
   ResyncAllMidBatch();
   in_batch_ = false;
+}
+
+void RandomizedCountTracker::ShardEpochBegin(uint64_t arrivals_in_epoch) {
+  if (shard_sinks_.empty()) {
+    shard_sinks_.resize(static_cast<size_t>(options_.num_sites));
+  }
+  // Nothing inside a shard epoch reads n_; advancing it up front keeps
+  // TrueCount() exact at the barrier, mirroring the batch engines.
+  n_ += arrivals_in_epoch;
+}
+
+// One site's whole epoch slice, on a worker thread. The structure is the
+// per-site projection of the serial event-countdown engine: eventless
+// arrivals retire as bulk count advances + consumed coin failures, and
+// each event arrival replays the exact scalar order (coarse first, then
+// the coin) with coordinator effects deferred to the sink. The epoch
+// schedule guarantees no broadcast can fall inside the run, so the coin
+// probability is frozen and the site's RNG stream is consumed at exactly
+// the serial per-site offsets.
+void RandomizedCountTracker::ShardArriveRun(int site, uint64_t count) {
+  SiteState& s = sites_[static_cast<size_t>(site)];
+  ShardSink& sink = shard_sinks_[static_cast<size_t>(site)];
+  while (count > 0) {
+    uint64_t gap = NextEventGap(site);
+    if (count < gap) {
+      s.count += count;
+      s.skip.ConsumeFailures(count);
+      coarse_->AdvanceLocalNoReport(site, count);
+      return;
+    }
+    uint64_t prefix = gap - 1;
+    s.count += prefix;
+    s.skip.ConsumeFailures(prefix);
+    coarse_->AdvanceLocalNoReport(site, prefix);
+    count -= gap;
+    // The event arrival.
+    ++s.count;
+    if (uint64_t delta = coarse_->ArriveLocal(site)) {
+      sink.coarse_deltas.push_back(delta);
+    }
+    if (s.skip.Next(&s.rng)) {
+      // Deferred Report(site): the site-side value updates immediately,
+      // the coordinator aggregates and the upload charge at the barrier.
+      ++sink.report_messages;
+      if (s.reported > 0) {
+        sink.reported_sum_delta -= static_cast<int64_t>(s.reported);
+      } else {
+        ++sink.reported_count_delta;
+      }
+      s.reported = s.count;
+      sink.reported_sum_delta += static_cast<int64_t>(s.count);
+    }
+  }
+}
+
+void RandomizedCountTracker::ShardEpochEnd() {
+  for (int i = 0; i < options_.num_sites; ++i) {
+    ShardSink& sink = shard_sinks_[static_cast<size_t>(i)];
+    for (uint64_t delta : sink.coarse_deltas) {
+      coarse_->ApplyDeferredReport(i, delta);
+    }
+    sink.coarse_deltas.clear();
+    if (sink.report_messages > 0) {
+      meter_.RecordUploadBulk(i, sink.report_messages, sink.report_messages);
+      sink.report_messages = 0;
+    }
+    reported_sum_ = static_cast<uint64_t>(static_cast<int64_t>(reported_sum_) +
+                                          sink.reported_sum_delta);
+    reported_count_ = static_cast<uint64_t>(
+        static_cast<int64_t>(reported_count_) + sink.reported_count_delta);
+    sink.reported_sum_delta = 0;
+    sink.reported_count_delta = 0;
+  }
 }
 
 double RandomizedCountTracker::EstimateCount() const {

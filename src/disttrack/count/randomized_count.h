@@ -73,7 +73,8 @@ struct RandomizedCountOptions {
 };
 
 /// Randomized ε-approximate count tracking (Theorem 2.1).
-class RandomizedCountTracker : public sim::CountTrackerInterface {
+class RandomizedCountTracker : public sim::CountTrackerInterface,
+                               private sim::CountShardIngest {
  public:
   explicit RandomizedCountTracker(const RandomizedCountOptions& options);
 
@@ -84,6 +85,15 @@ class RandomizedCountTracker : public sim::CountTrackerInterface {
   uint64_t TrueCount() const override { return n_; }
   const sim::CommMeter& meter() const override { return meter_; }
   const sim::SpaceGauge& space() const override { return space_; }
+
+  /// Sharded replay (sim/shard.h): site workers advance count, coarse
+  /// count, and the coin process site-locally, deferring reports and
+  /// their traffic to per-site sinks folded at the epoch barrier. Only
+  /// the skip-sampling path has the bulk coin primitives the per-site
+  /// run loop needs.
+  sim::CountShardIngest* shard_ingest() override {
+    return options_.use_skip_sampling ? this : nullptr;
+  }
 
   /// Current sampling probability p (1 until n̄ exceeds c√k/ε).
   double p() const;
@@ -97,6 +107,21 @@ class RandomizedCountTracker : public sim::CountTrackerInterface {
   void ArriveOne(int site);
   void Report(int site);
 
+  // --- Sharded replay (sim::CountShardIngest) ----------------------------
+  void ShardEpochBegin(uint64_t arrivals_in_epoch) override;
+  void ShardArriveRun(int site, uint64_t count) override;
+  void ShardEpochEnd() override;
+
+  // Coordinator messages a site worker buffered during the current shard
+  // epoch; folded (and cleared) by ShardEpochEnd.
+  struct ShardSink {
+    std::vector<uint64_t> coarse_deltas;  // deferred coarse-report deltas
+    int64_t reported_sum_delta = 0;       // Σ n̄_i change from coin reports
+    int64_t reported_count_delta = 0;     // |{i : n̄_i exists}| change
+    uint64_t report_messages = 0;         // coin reports (1 word each)
+  };
+  std::vector<ShardSink> shard_sinks_;
+
   // --- Batched fast path -------------------------------------------------
   // The shared EventCountdown engine (common/event_countdown.h): each site
   // counts down to its next event — a coarse-tracker report or a
@@ -105,6 +130,11 @@ class RandomizedCountTracker : public sim::CountTrackerInterface {
   // draw sequence is unchanged, so the batch path is bit-identical to
   // per-element Arrive() with skip sampling (tested in
   // skip_equivalence_test and batch_equivalence_test).
+  // Arrivals at `site` until its next event (coarse report or coin
+  // success) — the single source of truth for both the countdown engine
+  // (RearmSite) and the shard run loop, so the two delivery paths cannot
+  // drift apart.
+  uint64_t NextEventGap(int site) const;
   void RearmSite(int site);
   void RearmAll();
   void SyncEventless(int site, uint64_t consumed);

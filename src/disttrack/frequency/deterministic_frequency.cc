@@ -74,6 +74,7 @@ void DeterministicFrequencyTracker::SweepAfterDecrement(int site) {
 }
 
 void DeterministicFrequencyTracker::Arrive(int site, uint64_t item) {
+  sim::CheckSiteInRange(site, options_.num_sites);
   ++n_;
   coarse_->Arrive(site);
   SiteState& s = sites_[static_cast<size_t>(site)];

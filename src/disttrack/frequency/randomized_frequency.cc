@@ -29,7 +29,7 @@ RandomizedFrequencyTracker::RandomizedFrequencyTracker(
       sites_(static_cast<size_t>(options.num_sites)) {
   for (int i = 0; i < options_.num_sites; ++i) {
     SiteState& s = sites_[static_cast<size_t>(i)];
-    s.instance = next_instance_++;
+    s.instance = NewInstanceId(i, &s);
     s.rng = Rng(options_.seed * 0xA24BAED4963EE407ull +
                 static_cast<uint64_t>(i));
     s.counter_skip.ResetPow2(log2_inv_p_, &s.rng);
@@ -125,7 +125,7 @@ void RandomizedFrequencyTracker::OnBroadcast(uint64_t /*round*/,
     SiteState& s = sites_[static_cast<size_t>(i)];
     ClearCounters(&s);
     s.round_arrivals = 0;
-    s.instance = next_instance_++;
+    s.instance = NewInstanceId(i, &s);
     if (options_.use_skip_sampling) {
       // The new p invalidates outstanding skips (they encode old-p coin
       // gaps); redrawing is exact by independence of unconsumed coins.
@@ -146,9 +146,60 @@ void RandomizedFrequencyTracker::UpdateSpace(int site) {
   space_.Set(site, 2 * CounterCount(s) + 6);
 }
 
-inline void RandomizedFrequencyTracker::ProcessArrival(int site,
-                                                       uint64_t item) {
-  coarse_->Arrive(site);
+// Serial coordinator port: effects apply in place, exactly the historical
+// inline behavior (including a coarse broadcast firing mid-arrival).
+struct RandomizedFrequencyTracker::DirectPort {
+  RandomizedFrequencyTracker* t;
+  void CoarseArrive(int site) { t->coarse_->Arrive(site); }
+  void SplitNotify(int site) {
+    t->meter_.RecordUpload(site, 1);
+    ++t->splits_;
+  }
+  void CounterReport(int site, uint64_t item, uint64_t instance,
+                     uint64_t value) {
+    t->meter_.RecordUpload(site, 2);
+    t->LiveAgg(item).ForInstance(instance).cbar = value;
+  }
+  void SampleForward(int site, uint64_t item, uint64_t instance) {
+    t->meter_.RecordUpload(site, 1);
+    InstanceAgg& agg = t->LiveAgg(item).ForInstance(instance);
+    if (agg.cbar == 0) agg.d += 1;
+  }
+};
+
+// Shard coordinator port: every effect becomes a message stamped with the
+// arrival's global index, applied by ShardEpochEnd in stream order. The
+// epoch schedule guarantees no broadcast can fire inside a run, so the
+// deferred coarse report carries only its n' delta.
+struct RandomizedFrequencyTracker::ShardPort {
+  RandomizedFrequencyTracker* t;
+  std::vector<ShardMsg>* sink;
+  uint32_t index = 0;
+  void CoarseArrive(int site) {
+    if (uint64_t delta = t->coarse_->ArriveLocal(site)) {
+      sink->push_back(
+          ShardMsg{index, ShardMsg::kCoarseReport, site, 0, 0, delta});
+    }
+  }
+  void SplitNotify(int site) {
+    sink->push_back(ShardMsg{index, ShardMsg::kSplit, site, 0, 0, 0});
+  }
+  void CounterReport(int site, uint64_t item, uint64_t instance,
+                     uint64_t value) {
+    sink->push_back(
+        ShardMsg{index, ShardMsg::kCounterReport, site, item, instance, value});
+  }
+  void SampleForward(int site, uint64_t item, uint64_t instance) {
+    sink->push_back(
+        ShardMsg{index, ShardMsg::kSample, site, item, instance, 0});
+  }
+};
+
+template <typename Port>
+inline void RandomizedFrequencyTracker::ProcessArrivalImpl(int site,
+                                                           uint64_t item,
+                                                           Port& port) {
+  port.CoarseArrive(site);
   SiteState& s = sites_[static_cast<size_t>(site)];
 
   // Virtual-site split: the (n̄/k + 1)-th element of a round starts a fresh
@@ -156,11 +207,10 @@ inline void RandomizedFrequencyTracker::ProcessArrival(int site,
   // counters stay valid across the split.
   if (options_.virtual_site_split &&
       s.round_arrivals >= split_threshold_) {
-    meter_.RecordUpload(site, 1);  // split notification
+    port.SplitNotify(site);
     ClearCounters(&s);
-    s.instance = next_instance_++;
+    s.instance = NewInstanceId(site, &s);
     s.round_arrivals = 0;
-    ++splits_;
     UpdateSpace(site);
   }
   ++s.round_arrivals;
@@ -198,8 +248,7 @@ inline void RandomizedFrequencyTracker::ProcessArrival(int site,
   }
   if (tracked) {
     if (counter_hit) {
-      meter_.RecordUpload(site, 2);
-      LiveAgg(item).ForInstance(s.instance).cbar = fresh_value;
+      port.CounterReport(site, item, s.instance, fresh_value);
     }
   } else if (counter_hit) {
     if (options_.use_flat_counters) {
@@ -207,19 +256,22 @@ inline void RandomizedFrequencyTracker::ProcessArrival(int site,
     } else {
       s.legacy_counters.emplace(item, 1);
     }
-    meter_.RecordUpload(site, 2);
     // Setting cbar supersedes any sampled copies d of this instance: the
     // estimator reads d only while cbar == 0.
-    LiveAgg(item).ForInstance(s.instance).cbar = 1;
+    port.CounterReport(site, item, s.instance, 1);
     UpdateSpace(site);  // the counter set grew; splits/rounds handle shrink
   }
 
   // Independent simple-random-sampling channel (d_ij).
   if (sample_hit) {
-    meter_.RecordUpload(site, 1);
-    InstanceAgg& agg = LiveAgg(item).ForInstance(s.instance);
-    if (agg.cbar == 0) agg.d += 1;
+    port.SampleForward(site, item, s.instance);
   }
+}
+
+inline void RandomizedFrequencyTracker::ProcessArrival(int site,
+                                                       uint64_t item) {
+  DirectPort port{this};
+  ProcessArrivalImpl(site, item, port);
 }
 
 inline void RandomizedFrequencyTracker::ArriveOne(int site, uint64_t item) {
@@ -228,11 +280,110 @@ inline void RandomizedFrequencyTracker::ArriveOne(int site, uint64_t item) {
 }
 
 void RandomizedFrequencyTracker::Arrive(int site, uint64_t item) {
+  sim::CheckSiteInRange(site, options_.num_sites);
   ArriveOne(site, item);
 }
 
-void RandomizedFrequencyTracker::RearmSite(int site) {
+void RandomizedFrequencyTracker::ShardEpochBegin(uint64_t arrivals_in_epoch) {
+  if (shard_sinks_.empty()) {
+    shard_sinks_.resize(static_cast<size_t>(options_.num_sites));
+  }
+  // Nothing inside a shard epoch reads n_ (mirrors the batch engines).
+  n_ += arrivals_in_epoch;
+}
+
+// One site's epoch slice on a worker thread: the per-site projection of
+// the serial event-countdown engine. Eventless arrivals pay the tracked-
+// counter increment inline and retire in bulk (exactly SyncEventless);
+// each event arrival replays the scalar ProcessArrival logic with
+// coordinator effects deferred through the ShardPort.
+void RandomizedFrequencyTracker::ShardArriveRun(int site,
+                                                const uint64_t* keys,
+                                                const uint32_t* global_index,
+                                                size_t count) {
   SiteState& s = sites_[static_cast<size_t>(site)];
+  ShardPort port{this, &shard_sinks_[static_cast<size_t>(site)], 0};
+  size_t pos = 0;
+  while (pos < count) {
+    uint64_t gap = NextEventGap(site);
+    uint64_t eventless =
+        std::min<uint64_t>(gap - 1, static_cast<uint64_t>(count - pos));
+    if (eventless > 0) {
+      for (uint64_t j = 0; j < eventless; ++j) {
+        s.counters.IncrementIfTracked(keys[pos + j]);
+      }
+      s.round_arrivals += eventless;
+      s.counter_skip.ConsumeFailures(eventless);
+      s.sample_skip.ConsumeFailures(eventless);
+      coarse_->AdvanceLocalNoReport(site, eventless);
+      pos += static_cast<size_t>(eventless);
+    }
+    if (pos >= count) break;
+    port.index = global_index[pos];
+    ProcessArrivalImpl(site, keys[pos], port);
+    ++pos;
+  }
+}
+
+void RandomizedFrequencyTracker::ShardEpochEnd() {
+  // Merge the per-site sinks into one stream-ordered message sequence.
+  // Each sink is already ascending in global index (messages are
+  // generated in stream order per site), and messages of one arrival all
+  // come from one site, so merging the sorted sinks — rather than
+  // re-sorting the concatenation — reproduces the serial coordinator
+  // schedule exactly. The spans are merged pairwise in a balanced
+  // tournament (log k rounds over the concatenation), i.e. O(M log k).
+  shard_merge_.clear();
+  auto by_index = [](const ShardMsg& a, const ShardMsg& b) {
+    return a.index < b.index;
+  };
+  std::vector<size_t> span_ends;
+  for (auto& sink : shard_sinks_) {
+    if (sink.empty()) continue;
+    shard_merge_.insert(shard_merge_.end(), sink.begin(), sink.end());
+    sink.clear();
+    span_ends.push_back(shard_merge_.size());
+  }
+  while (span_ends.size() > 1) {
+    std::vector<size_t> next_ends;
+    size_t begin = 0;
+    for (size_t i = 0; i + 1 < span_ends.size(); i += 2) {
+      std::inplace_merge(shard_merge_.begin() + begin,
+                         shard_merge_.begin() + span_ends[i],
+                         shard_merge_.begin() + span_ends[i + 1], by_index);
+      next_ends.push_back(span_ends[i + 1]);
+      begin = span_ends[i + 1];
+    }
+    if (span_ends.size() % 2 == 1) next_ends.push_back(span_ends.back());
+    span_ends = std::move(next_ends);
+  }
+  for (const ShardMsg& m : shard_merge_) {
+    int site = static_cast<int>(m.site);
+    switch (m.kind) {
+      case ShardMsg::kCoarseReport:
+        coarse_->ApplyDeferredReport(site, m.value);
+        break;
+      case ShardMsg::kSplit:
+        meter_.RecordUpload(site, 1);
+        ++splits_;
+        break;
+      case ShardMsg::kCounterReport:
+        meter_.RecordUpload(site, 2);
+        LiveAgg(m.item).ForInstance(m.instance).cbar = m.value;
+        break;
+      case ShardMsg::kSample: {
+        meter_.RecordUpload(site, 1);
+        InstanceAgg& agg = LiveAgg(m.item).ForInstance(m.instance);
+        if (agg.cbar == 0) agg.d += 1;
+        break;
+      }
+    }
+  }
+  shard_merge_.clear();
+}
+
+uint64_t RandomizedFrequencyTracker::NextEventGap(int site) const {
+  const SiteState& s = sites_[static_cast<size_t>(site)];
   // Next event: the sooner of the two skip channels' successes, the
   // coarse-tracker report, and (when enabled) the virtual-site split.
   uint64_t gap = std::min(coarse_->arrivals_until_report(site),
@@ -247,7 +398,11 @@ void RandomizedFrequencyTracker::RearmSite(int site) {
                              : 1;
     gap = std::min(gap, split_gap);
   }
-  countdown_.Arm(site, gap);
+  return gap;
+}
+
+void RandomizedFrequencyTracker::RearmSite(int site) {
+  countdown_.Arm(site, NextEventGap(site));
 }
 
 void RandomizedFrequencyTracker::RearmAll() {
@@ -299,6 +454,7 @@ void RandomizedFrequencyTracker::RunBatch(const sim::Arrival* arrivals,
   uint32_t* until = countdown_.until();
   for (size_t i = 0; i < count; ++i) {
     int site = arrivals[i].site;
+    sim::CheckSiteInRange(site, options_.num_sites);
     uint64_t item = arrivals[i].key;
     if (--until[site] == 0) {
       HandleEventArrival(site, item);
@@ -324,6 +480,7 @@ void RandomizedFrequencyTracker::ArriveBatch(const sim::Arrival* arrivals,
     // The historical coin path draws per arrival; there is no countdown to
     // run, so batch delivery degenerates to the scalar loop.
     for (size_t i = 0; i < count; ++i) {
+      sim::CheckSiteInRange(arrivals[i].site, options_.num_sites);
       ArriveOne(arrivals[i].site, arrivals[i].key);
     }
     return;

@@ -86,7 +86,8 @@ struct RandomizedFrequencyOptions {
 };
 
 /// Randomized ε-approximate frequency tracking (Theorem 3.1).
-class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface {
+class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface,
+                                   private sim::KeyedShardIngest {
  public:
   explicit RandomizedFrequencyTracker(
       const RandomizedFrequencyOptions& options);
@@ -98,6 +99,18 @@ class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface {
   const sim::CommMeter& meter() const override { return meter_; }
   const sim::SpaceGauge& space() const override { return space_; }
 
+  /// Sharded replay (sim/shard.h): site workers run counters, splits, and
+  /// both coin channels site-locally; every coordinator effect (coarse
+  /// reports, split notices, counter re-reports, sampled copies) is
+  /// buffered as a message stamped with its global arrival index, and the
+  /// epoch barrier replays the merged message sequence in stream order —
+  /// so the coordinator's aggregation state evolves bit-identically to
+  /// the serial execution.
+  sim::KeyedShardIngest* shard_ingest() override {
+    return options_.use_skip_sampling && options_.use_flat_counters ? this
+                                                                    : nullptr;
+  }
+
   /// Current sampling probability p.
   double p() const { return 1.0 / static_cast<double>(inv_p_); }
 
@@ -108,7 +121,8 @@ class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface {
 
  private:
   struct SiteState {
-    uint64_t instance = 0;  // current virtual-site id (globally unique)
+    uint64_t instance = 0;      // current virtual-site id (globally unique)
+    uint32_t instance_seq = 0;  // per-site sequence the id is minted from
     uint64_t round_arrivals = 0;
     CounterTable counters;  // L_i (use_flat_counters, the default)
     std::unordered_map<uint64_t, uint64_t> legacy_counters;  // A/B store
@@ -157,13 +171,56 @@ class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface {
   // Everything ArriveOne does except ++n_ (the batch engine advances n_
   // up front): coarse arrival, split check, coins, store updates.
   void ProcessArrival(int site, uint64_t item);
+  // The shared protocol logic of ProcessArrival, parameterized over how
+  // coordinator effects are delivered: DirectPort applies them in place
+  // (the serial path), ShardPort defers them to the site's message sink
+  // (sharded replay). Site-local state is mutated identically either way.
+  template <typename Port>
+  void ProcessArrivalImpl(int site, uint64_t item, Port& port);
+  // Mints the next virtual-site instance id for `site` (site-unique ids
+  // keep id assignment schedule-independent under sharded replay).
+  uint64_t NewInstanceId(int site, SiteState* s) {
+    return (static_cast<uint64_t>(site) << 32) |
+           static_cast<uint64_t>(s->instance_seq++);
+  }
   size_t CounterCount(const SiteState& s) const;
   void ClearCounters(SiteState* s);
+
+  // --- Sharded replay (sim::KeyedShardIngest) ----------------------------
+  void ShardEpochBegin(uint64_t arrivals_in_epoch) override;
+  void ShardArriveRun(int site, const uint64_t* keys,
+                      const uint32_t* global_index, size_t count) override;
+  void ShardEpochEnd() override;
+
+  // One deferred coordinator message; `index` is the global arrival index
+  // it was produced at, the barrier's serialization key.
+  struct ShardMsg {
+    enum Kind : uint8_t {
+      kCoarseReport,   // value = deferred n' delta
+      kSplit,          // virtual-site split notice
+      kCounterReport,  // item/instance, value = fresh counter value
+      kSample,         // item/instance, one sampled copy (d channel)
+    };
+    uint32_t index = 0;
+    Kind kind = kCoarseReport;
+    int32_t site = 0;  // full site id (num_sites is only bounded below)
+    uint64_t item = 0;
+    uint64_t instance = 0;
+    uint64_t value = 0;
+  };
+  struct DirectPort;
+  struct ShardPort;
+  std::vector<std::vector<ShardMsg>> shard_sinks_;  // one sink per site
+  std::vector<ShardMsg> shard_merge_;               // barrier scratch
 
   // Batched fast path on the shared EventCountdown engine; see
   // common/event_countdown.h for the reconciliation contract.
   template <bool kFlat>
   void RunBatch(const sim::Arrival* arrivals, size_t count);
+  // Arrivals at `site` until its next event (coin success on either
+  // channel, coarse report, or virtual-site split) — the single source
+  // of truth for the countdown engine and the shard run loop.
+  uint64_t NextEventGap(int site) const;
   void RearmSite(int site);
   void RearmAll();
   void SyncEventless(int site, uint64_t consumed);
@@ -186,7 +243,6 @@ class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface {
   uint64_t inv_p_ = 1;
   int log2_inv_p_ = 0;            // log2(inv_p_), the skip samplers' argument
   uint64_t split_threshold_ = 1;  // n̄/k
-  uint64_t next_instance_ = 0;
   uint64_t splits_ = 0;
   uint64_t n_ = 0;
 

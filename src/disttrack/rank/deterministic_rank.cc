@@ -31,6 +31,7 @@ DeterministicRankTracker::DeterministicRankTracker(
 }
 
 void DeterministicRankTracker::Arrive(int site, uint64_t value) {
+  sim::CheckSiteInRange(site, options_.num_sites);
   ++n_;
   value &= mask_;
   for (int g = 0; g < options_.universe_bits; ++g) {

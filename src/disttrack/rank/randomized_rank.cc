@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "disttrack/common/math_util.h"
 
@@ -72,7 +73,6 @@ std::unique_ptr<summaries::CompactorSummary> RandomizedRankTracker::
 }
 
 void RandomizedRankTracker::StartFreshInstance(SiteState* s) {
-  s->instance = next_instance_++;
   s->arrivals_in_chunk = 0;
   s->arrivals_in_leaf = 0;
   s->current_leaf = 0;
@@ -103,7 +103,8 @@ void RandomizedRankTracker::StartFreshInstance(SiteState* s) {
     // samples); unpulled ladder data goes with it.
     s->ladder.Reset(levels);
   }
-  s->idata = &instances_[s->instance];
+  s->owned_instances.emplace_back();
+  s->idata = &s->owned_instances.back();
   s->idata->inv_p = inv_p_;
   if (options_.use_skip_sampling) {
     // Rounds change p, which invalidates outstanding skips; chunk
@@ -130,17 +131,41 @@ void RandomizedRankTracker::OnBroadcast(uint64_t /*round*/, uint64_t n_bar) {
   if (in_batch_) RearmAll();
 }
 
-RandomizedRankTracker::StoredSummary RandomizedRankTracker::TakeStored() {
-  if (stored_pool_.empty()) return StoredSummary{};
-  StoredSummary stored = std::move(stored_pool_.back());
-  stored_pool_.pop_back();
+RandomizedRankTracker::StoredSummary RandomizedRankTracker::TakeStored(
+    SiteState* s) {
+  if (s->stored_pool.empty()) return StoredSummary{};
+  StoredSummary stored = std::move(s->stored_pool.back());
+  s->stored_pool.pop_back();
   stored.values.clear();
   stored.segments.clear();
   return stored;
 }
 
-void RandomizedRankTracker::RecycleStored(StoredSummary&& stored) {
-  if (stored_pool_.size() < 256) stored_pool_.push_back(std::move(stored));
+void RandomizedRankTracker::RecycleStored(SiteState* s,
+                                          StoredSummary&& stored) {
+  if (s->stored_pool.size() < 256) {
+    s->stored_pool.push_back(std::move(stored));
+  }
+}
+
+void RandomizedRankTracker::Upload(int site, uint64_t words) {
+  if (shard_mode_) {
+    ShardSink& sink = shard_sinks_[static_cast<size_t>(site)];
+    ++sink.messages;
+    sink.words += std::max<uint64_t>(1, words);
+  } else {
+    meter_.RecordUpload(site, words);
+  }
+}
+
+void RandomizedRankTracker::CoarseArriveOne(int site) {
+  if (shard_mode_) {
+    if (uint64_t delta = coarse_->ArriveLocal(site)) {
+      shard_sinks_[static_cast<size_t>(site)].coarse_deltas.push_back(delta);
+    }
+  } else {
+    coarse_->Arrive(site);
+  }
 }
 
 void RandomizedRankTracker::FlushNode(int site, SiteState* s, int level,
@@ -154,9 +179,9 @@ void RandomizedRankTracker::FlushNode(int site, SiteState* s, int level,
     return;
   }
   // Site -> coordinator: the serialized summary.
-  meter_.RecordUpload(site, node->SerializedWords());
+  Upload(site, node->SerializedWords());
 
-  StoredSummary stored = TakeStored();
+  StoredSummary stored = TakeStored(s);
   stored.first_leaf = node_start;
   stored.end_leaf = end_leaf;
   node->ExportLevels(&stored.values, &stored.segments);
@@ -229,8 +254,8 @@ void RandomizedRankTracker::PumpLevels(SiteState* s, uint64_t appended) {
         std::max(quantum, capacity > owned ? capacity - owned : 1);
     if (pending >= threshold) {
       size_t total =
-          s->ladder.Pull(static_cast<size_t>(level), &view_scratch_);
-      node->InsertSortedViews(view_scratch_.data(), view_scratch_.size(),
+          s->ladder.Pull(static_cast<size_t>(level), &s->view_scratch);
+      node->InsertSortedViews(s->view_scratch.data(), s->view_scratch.size(),
                               total);
       pending = 0;
       owned = node->level0_size();
@@ -243,14 +268,14 @@ void RandomizedRankTracker::PumpLevels(SiteState* s, uint64_t appended) {
 }
 
 void RandomizedRankTracker::PullInto(SiteState* s, int level) {
-  size_t total = s->ladder.Pull(static_cast<size_t>(level), &view_scratch_);
+  size_t total = s->ladder.Pull(static_cast<size_t>(level), &s->view_scratch);
   if (total == 0) return;
   s->nodes[static_cast<size_t>(level)]->InsertSortedViews(
-      view_scratch_.data(), view_scratch_.size(), total);
+      s->view_scratch.data(), s->view_scratch.size(), total);
 }
 
 inline void RandomizedRankTracker::ProcessArrival(int site, uint64_t value) {
-  coarse_->Arrive(site);
+  CoarseArriveOne(site);
   SiteState& s = sites_[static_cast<size_t>(site)];
 
   if (chunk_size_ == 1) {
@@ -262,9 +287,9 @@ inline void RandomizedRankTracker::ProcessArrival(int site, uint64_t value) {
     // summary — exactly what the node path's leaf-completion prune does).
     bool fwd = options_.use_skip_sampling ? s.tail_skip.Next(&s.rng)
                                           : s.rng.Bernoulli(1.0 / inv_p_);
-    if (fwd) meter_.RecordUpload(site, 2);
-    meter_.RecordUpload(site, 3);  // single-item summary: value + header
-    StoredSummary stored = TakeStored();
+    if (fwd) Upload(site, 2);
+    Upload(site, 3);  // single-item summary: value + header
+    StoredSummary stored = TakeStored(&s);
     stored.first_leaf = 0;
     stored.end_leaf = 1;
     stored.values.push_back(value);
@@ -300,7 +325,7 @@ inline void RandomizedRankTracker::ProcessArrival(int site, uint64_t value) {
                      ? s.tail_skip.Next(&s.rng)
                      : s.rng.Bernoulli(1.0 / inv_p_);
   if (forward) {
-    meter_.RecordUpload(site, 2);
+    Upload(site, 2);
     // A sample of a leaf this very arrival completes would be dropped by
     // the completion prune below before any estimate can read it; charge
     // the upload but skip the vector churn.
@@ -372,7 +397,7 @@ inline void RandomizedRankTracker::ProcessArrival(int site, uint64_t value) {
       if (top != data.summaries.end()) {
         StoredSummary keep = std::move(*top);
         for (auto& dropped : data.summaries) {
-          RecycleStored(std::move(dropped));
+          RecycleStored(&s, std::move(dropped));
         }
         data.summaries.clear();
         data.summaries.push_back(std::move(keep));
@@ -391,11 +416,65 @@ inline void RandomizedRankTracker::ArriveOne(int site, uint64_t value) {
 }
 
 void RandomizedRankTracker::Arrive(int site, uint64_t value) {
+  sim::CheckSiteInRange(site, options_.num_sites);
   ArriveOne(site, value);
 }
 
-void RandomizedRankTracker::RearmSite(int site) {
+void RandomizedRankTracker::ShardEpochBegin(uint64_t arrivals_in_epoch) {
+  if (shard_sinks_.empty()) {
+    shard_sinks_.resize(static_cast<size_t>(options_.num_sites));
+  }
+  // Nothing inside a shard epoch reads n_ (mirrors the batch engine).
+  n_ += arrivals_in_epoch;
+  shard_mode_ = true;
+}
+
+// One site's epoch slice on a worker thread: the per-site projection of
+// the serial event-countdown engine. The site's run boundaries are the
+// same in both executions — its own events (leaf/chunk completions,
+// coarse reports) plus the epoch ends, which are exactly the points where
+// the serial engine resyncs (checkpoint batch ends and broadcasts) — so
+// the sort/ladder/compaction schedule, and with it the site's RNG
+// consumption, is identical and the replay stays bit-exact.
+void RandomizedRankTracker::ShardArriveRun(int site, const uint64_t* keys,
+                                           const uint32_t* /*global_index*/,
+                                           size_t count) {
   SiteState& s = sites_[static_cast<size_t>(site)];
+  size_t pos = 0;
+  while (pos < count) {
+    uint64_t gap = NextEventGap(site);
+    uint64_t eventless =
+        std::min<uint64_t>(gap - 1, static_cast<uint64_t>(count - pos));
+    if (eventless > 0) {
+      s.run.assign(keys + pos, keys + pos + eventless);
+      FeedRun(site, &s.run, eventless);
+      s.run.clear();
+      pos += static_cast<size_t>(eventless);
+    }
+    if (pos >= count) break;
+    ProcessArrival(site, keys[pos]);
+    ++pos;
+  }
+}
+
+void RandomizedRankTracker::ShardEpochEnd() {
+  shard_mode_ = false;
+  for (int i = 0; i < options_.num_sites; ++i) {
+    ShardSink& sink = shard_sinks_[static_cast<size_t>(i)];
+    for (uint64_t delta : sink.coarse_deltas) {
+      coarse_->ApplyDeferredReport(i, delta);
+    }
+    sink.coarse_deltas.clear();
+    if (sink.messages > 0) {
+      meter_.RecordUploadBulk(i, sink.messages, sink.words);
+      sink.messages = 0;
+      sink.words = 0;
+    }
+  }
+}
+
+uint64_t RandomizedRankTracker::NextEventGap(int site) const {
+  const SiteState& s = sites_[static_cast<size_t>(site)];
   // Next event: the arrival that completes the current leaf (or chunk —
   // its boundary coincides with a leaf boundary via leaf_done) or the
   // next coarse report. Tail-channel coin successes are not events: the
@@ -405,7 +484,13 @@ void RandomizedRankTracker::RearmSite(int site) {
   uint64_t gap = std::min(block_size_ - s.arrivals_in_leaf,
                           chunk_size_ - s.arrivals_in_chunk);
   gap = std::min(gap, coarse_->arrivals_until_report(site));
-  countdown_.Arm(site, gap);
+  // The countdown would clamp a larger stride anyway; clamping here keeps
+  // the shard run loop cutting runs at the same arrivals.
+  return std::min<uint64_t>(gap, std::numeric_limits<uint32_t>::max());
+}
+
+void RandomizedRankTracker::RearmSite(int site) {
+  countdown_.Arm(site, NextEventGap(site));
 }
 
 void RandomizedRankTracker::RearmAll() {
@@ -439,7 +524,7 @@ void RandomizedRankTracker::FeedRun(int site, std::vector<uint64_t>* run,
       pos += skips;
       s.tail_skip.ConsumeFailures(skips);
       s.tail_skip.Next(&s.rng);  // skip exhausted: success + redraw
-      meter_.RecordUpload(site, 2);
+      Upload(site, 2);
       s.idata->residuals.push_back(
           ResidualSample{s.current_leaf, values[pos]});
       ++pos;
@@ -468,7 +553,14 @@ void RandomizedRankTracker::FeedRun(int site, std::vector<uint64_t>* run,
   }
   s.arrivals_in_leaf += count;
   s.arrivals_in_chunk += count;
-  coarse_->ArriveRun(site, count);  // tail coins were consumed by the walk
+  // Tail coins were consumed by the walk above. The run is strictly below
+  // every event gap, so on the shard path the coarse advance cannot cross
+  // the site's report threshold.
+  if (shard_mode_) {
+    coarse_->AdvanceLocalNoReport(site, count);
+  } else {
+    coarse_->ArriveRun(site, count);
+  }
 }
 
 void RandomizedRankTracker::ResyncAllMidBatch() {
@@ -503,6 +595,7 @@ void RandomizedRankTracker::ArriveBatch(const sim::Arrival* arrivals,
     // Per-element feed: the historical path (and the only exact one when
     // tail coins are drawn per arrival).
     for (size_t i = 0; i < count; ++i) {
+      sim::CheckSiteInRange(arrivals[i].site, options_.num_sites);
       ArriveOne(arrivals[i].site, arrivals[i].key);
     }
     return;
@@ -516,6 +609,7 @@ void RandomizedRankTracker::ArriveBatch(const sim::Arrival* arrivals,
   uint32_t* until = countdown_.until();
   for (size_t i = 0; i < count; ++i) {
     int site = arrivals[i].site;
+    sim::CheckSiteInRange(site, options_.num_sites);
     sites_[static_cast<size_t>(site)].run.push_back(arrivals[i].key);
     if (--until[site] == 0) HandleEventArrival(site);
   }
@@ -539,27 +633,29 @@ double RandomizedRankTracker::SummaryRankBelow(const StoredSummary& summary,
 
 double RandomizedRankTracker::EstimateRank(uint64_t value) const {
   double est = 0;
-  for (const auto& [id, data] : instances_) {
-    // Greedy maximal dyadic cover of the completed-leaf prefix.
-    uint32_t cursor = 0;
-    for (;;) {
-      const StoredSummary* best = nullptr;
-      for (const StoredSummary& stored : data.summaries) {
-        if (stored.first_leaf == cursor &&
-            (best == nullptr || stored.end_leaf > best->end_leaf)) {
-          best = &stored;
+  for (const SiteState& site_state : sites_) {
+    for (const InstanceData& data : site_state.owned_instances) {
+      // Greedy maximal dyadic cover of the completed-leaf prefix.
+      uint32_t cursor = 0;
+      for (;;) {
+        const StoredSummary* best = nullptr;
+        for (const StoredSummary& stored : data.summaries) {
+          if (stored.first_leaf == cursor &&
+              (best == nullptr || stored.end_leaf > best->end_leaf)) {
+            best = &stored;
+          }
         }
+        if (best == nullptr) break;
+        est += SummaryRankBelow(*best, value);
+        cursor = best->end_leaf;
       }
-      if (best == nullptr) break;
-      est += SummaryRankBelow(*best, value);
-      cursor = best->end_leaf;
+      // In-progress tail: unbiased sample estimate at this round's p.
+      uint64_t below = 0;
+      for (size_t i = data.residual_begin; i < data.residuals.size(); ++i) {
+        if (data.residuals[i].value < value) ++below;
+      }
+      est += static_cast<double>(below) * data.inv_p;
     }
-    // In-progress tail: unbiased sample estimate at this round's p.
-    uint64_t below = 0;
-    for (size_t i = data.residual_begin; i < data.residuals.size(); ++i) {
-      if (data.residuals[i].value < value) ++below;
-    }
-    est += static_cast<double>(below) * data.inv_p;
   }
   return est;
 }

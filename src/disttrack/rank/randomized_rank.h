@@ -42,8 +42,8 @@
 #define DISTTRACK_RANK_RANDOMIZED_RANK_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "disttrack/common/event_countdown.h"
@@ -100,7 +100,8 @@ struct RandomizedRankOptions {
 };
 
 /// Randomized ε-approximate rank tracking (Theorem 4.1).
-class RandomizedRankTracker : public sim::RankTrackerInterface {
+class RandomizedRankTracker : public sim::RankTrackerInterface,
+                              private sim::KeyedShardIngest {
  public:
   explicit RandomizedRankTracker(const RandomizedRankOptions& options);
 
@@ -110,6 +111,21 @@ class RandomizedRankTracker : public sim::RankTrackerInterface {
   uint64_t TrueCount() const override { return n_; }
   const sim::CommMeter& meter() const override { return meter_; }
   const sim::SpaceGauge& space() const override { return space_; }
+
+  /// Sharded replay (sim/shard.h). Rank coordinator state is naturally
+  /// site-partitioned — every instance of algorithm C belongs to exactly
+  /// one site, and shipped summaries / residual samples only ever join
+  /// the shipping site's own instances — so site workers write their
+  /// instances directly and defer only the coarse reports and the
+  /// traffic charges (order-insensitive sums) to the epoch barrier.
+  /// Supported on the batched skip-sampling feed, whose run-at-a-time
+  /// processing the per-site driver reuses; the per-element historical
+  /// paths fall back to serial replay.
+  sim::KeyedShardIngest* shard_ingest() override {
+    return options_.use_skip_sampling && options_.use_batch_compaction
+               ? this
+               : nullptr;
+  }
 
   /// Element-forwarding probability p of the current round.
   double p() const { return 1.0 / inv_p_; }
@@ -151,13 +167,17 @@ class RandomizedRankTracker : public sim::RankTrackerInterface {
     double inv_p = 1.0;  // 1/p of the instance's round
   };
 
-  // (SiteState caches a pointer to its live instance's InstanceData —
-  // stable across unordered_map rehashes, which never move elements — so
-  // the hot paths skip the hash lookup.)
 
   struct SiteState {
-    uint64_t instance = 0;
-    InstanceData* idata = nullptr;  // cached &instances_[instance]
+    InstanceData* idata = nullptr;  // cached &owned_instances.back()
+    // Coordinator-side storage for every instance of algorithm C this
+    // site has started, in chunk order (a deque: stable addresses for
+    // idata). Written only by the owning site — during shard ingest the
+    // site's worker appends summaries/residuals directly — and read by
+    // the estimator between epochs. Site-major iteration keeps the
+    // estimate's summation order deterministic and schedule-independent
+    // (the old global unordered_map iterated in hash order).
+    std::deque<InstanceData> owned_instances;
     uint64_t arrivals_in_chunk = 0;
     uint64_t arrivals_in_leaf = 0;
     uint32_t current_leaf = 0;
@@ -172,6 +192,8 @@ class RandomizedRankTracker : public sim::RankTrackerInterface {
         pool;
     SkipSampler tail_skip;  // gap to the next tail-channel forward
     Rng rng{0};
+    std::vector<summaries::RunView> view_scratch;  // ladder pull scratch
+    std::vector<StoredSummary> stored_pool;        // recycled buffers
     // Batch-engine run buffer: values delivered to this site since its
     // last event/reconciliation, in arrival order (delivery-engine state,
     // not protocol state — the values are the stream itself).
@@ -197,6 +219,12 @@ class RandomizedRankTracker : public sim::RankTrackerInterface {
 
   // Batched fast path on the shared EventCountdown engine; see
   // common/event_countdown.h for the reconciliation contract.
+  // Arrivals at `site` until its next event (leaf/chunk completion or
+  // coarse report), clamped to the countdown's 32-bit stride — the
+  // single source of truth for the countdown engine and the shard run
+  // loop, so their run boundaries (and with them the site's RNG
+  // consumption) cannot drift apart.
+  uint64_t NextEventGap(int site) const;
   void RearmSite(int site);
   void RearmAll();
   // Feeds the `count` buffered eventless values in `run` (== the whole
@@ -215,11 +243,11 @@ class RandomizedRankTracker : public sim::RankTrackerInterface {
   void EnsureNodes(SiteState* s);
   void PumpLevels(SiteState* s, uint64_t appended);
   void PullInto(SiteState* s, int level);
-  // StoredSummary buffer pool: flushes run at leaf cadence, so recycling
-  // the vectors the chunk-end prune discards keeps allocation off the
-  // flush path.
-  StoredSummary TakeStored();
-  void RecycleStored(StoredSummary&& stored);
+  // StoredSummary buffer pool (per site): flushes run at leaf cadence,
+  // so recycling the vectors the chunk-end prune discards keeps
+  // allocation off the flush path.
+  StoredSummary TakeStored(SiteState* s);
+  void RecycleStored(SiteState* s, StoredSummary&& stored);
   void RecomputeRoundParams(uint64_t n_bar);
   void StartFreshInstance(SiteState* s);
   void FlushNode(int site, SiteState* s, int level, uint32_t node_start,
@@ -228,13 +256,35 @@ class RandomizedRankTracker : public sim::RankTrackerInterface {
   void UpdateSpace(int site);
   static double SummaryRankBelow(const StoredSummary& summary, uint64_t x);
 
+  // --- Sharded replay (sim::KeyedShardIngest) ----------------------------
+  void ShardEpochBegin(uint64_t arrivals_in_epoch) override;
+  void ShardArriveRun(int site, const uint64_t* keys,
+                      const uint32_t* global_index, size_t count) override;
+  void ShardEpochEnd() override;
+  // All deferred coordinator effects are order-insensitive sums; the
+  // driver need not materialize global indices.
+  bool wants_global_indices() const override { return false; }
+  // Site->coordinator upload: charged to the meter directly on the serial
+  // paths, accumulated in the site's sink during shard ingest.
+  void Upload(int site, uint64_t words);
+  // One coarse arrival: the serial paths go through CoarseTracker::Arrive
+  // (which may broadcast); shard ingest advances site-locally and defers
+  // the report delta (the epoch schedule keeps broadcasts on boundaries).
+  void CoarseArriveOne(int site);
+
+  struct ShardSink {
+    std::vector<uint64_t> coarse_deltas;
+    uint64_t messages = 0;  // deferred uploads
+    uint64_t words = 0;     // with max(1, payload) applied per message
+  };
+
   RandomizedRankOptions options_;
   sim::CommMeter meter_;
   sim::SpaceGauge space_;
   std::unique_ptr<count::CoarseTracker> coarse_;
   std::vector<SiteState> sites_;
-
-  std::unordered_map<uint64_t, InstanceData> instances_;
+  std::vector<ShardSink> shard_sinks_;
+  bool shard_mode_ = false;
 
   // Round parameters.
   double inv_p_ = 1.0;
@@ -243,13 +293,10 @@ class RandomizedRankTracker : public sim::RankTrackerInterface {
   uint32_t num_leaves_ = 1;
   int height_ = 0;
 
-  uint64_t next_instance_ = 0;
   uint64_t n_ = 0;
 
   EventCountdown countdown_;
   bool in_batch_ = false;
-  std::vector<summaries::RunView> view_scratch_;  // ladder pull scratch
-  std::vector<StoredSummary> stored_pool_;
 };
 
 }  // namespace rank

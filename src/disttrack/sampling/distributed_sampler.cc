@@ -36,6 +36,7 @@ DistributedSampler::DistributedSampler(
 }
 
 void DistributedSampler::Arrive(int site, uint64_t value) {
+  sim::CheckSiteInRange(site, static_cast<int>(site_rng_.size()));
   ++n_;
   int elem_level = site_rng_[static_cast<size_t>(site)].GeometricLevel();
   if (elem_level < level_) return;  // filtered at the site, no traffic

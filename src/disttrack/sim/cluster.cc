@@ -22,39 +22,52 @@ void CheckCheckpointFactor(double checkpoint_factor) {
 // Shared geometric-checkpoint replay skeleton. `deliver_batch` pushes a
 // contiguous run of arrivals (element indices [begin, end)) in order;
 // `sample` returns the (estimate, truth) pair at the current time.
-//
-// The schedule matches the historical per-arrival loop exactly: a
-// checkpoint lands on the first n with n >= next, where next starts at 1
-// and becomes n * checkpoint_factor after each checkpoint. Batching just
-// delivers the arrivals between consecutive checkpoints in one call.
+// Batching just delivers the arrivals between consecutive checkpoints of
+// the shared CheckpointCounts schedule in one call.
 template <typename DeliverBatchFn, typename SampleFn>
 std::vector<Checkpoint> ReplayImpl(uint64_t total, double checkpoint_factor,
                                    DeliverBatchFn deliver_batch,
                                    SampleFn sample) {
-  CheckCheckpointFactor(checkpoint_factor);
+  std::vector<uint64_t> schedule = CheckpointCounts(total, checkpoint_factor);
   std::vector<Checkpoint> out;
+  out.reserve(schedule.size());
+  uint64_t delivered = 0;
+  for (uint64_t target : schedule) {
+    if (target > delivered) deliver_batch(delivered, target);
+    delivered = target;
+    auto [est, truth] = sample();
+    out.push_back(Checkpoint{delivered, est, truth});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint64_t> CheckpointCounts(uint64_t total,
+                                       double checkpoint_factor) {
+  CheckCheckpointFactor(checkpoint_factor);
+  // This is the historical per-arrival schedule exactly: deliver to the
+  // first n with n >= next (never past the stream end), sample there, and
+  // multiply. The only delivery boundary that is not a sample is the
+  // stream end when it falls short of `next`; the trailing final-sample
+  // rule folds it into the schedule anyway, so "delivery boundaries" and
+  // "checkpoints" coincide.
+  std::vector<uint64_t> out;
   uint64_t n = 0;
   double next = 1.0;
   while (n < total) {
     uint64_t target = static_cast<uint64_t>(std::ceil(next));
     target = std::max(target, n + 1);
     target = std::min(target, total);
-    deliver_batch(n, target);
     n = target;
     if (static_cast<double>(n) >= next) {
-      auto [est, truth] = sample();
-      out.push_back(Checkpoint{n, est, truth});
+      out.push_back(n);
       next = static_cast<double>(n) * checkpoint_factor;
     }
   }
-  if (out.empty() || out.back().n != n) {
-    auto [est, truth] = sample();
-    out.push_back(Checkpoint{n, est, truth});
-  }
+  if (out.empty() || out.back() != total) out.push_back(total);
   return out;
 }
-
-}  // namespace
 
 std::vector<Checkpoint> ReplayCount(CountTrackerInterface* tracker,
                                     const Workload& workload,

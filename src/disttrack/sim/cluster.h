@@ -30,6 +30,16 @@ struct Checkpoint {
   double truth = 0;      ///< ground-truth answer to the sampled query
 };
 
+/// The geometric checkpoint schedule every replay driver follows: the
+/// ascending arrival counts at which an estimate is sampled. A checkpoint
+/// lands on the first n with n >= next, where next starts at 1 and
+/// becomes n * checkpoint_factor after each checkpoint; the final element
+/// is always `total` (a single n = 0 entry when the workload is empty).
+/// Shared by the serial Replay* drivers and sim::ParallelCluster so both
+/// sample at identical points. Aborts if checkpoint_factor <= 1.
+std::vector<uint64_t> CheckpointCounts(uint64_t total,
+                                       double checkpoint_factor);
+
 /// Replays a count workload, sampling EstimateCount() every time n grows by
 /// `checkpoint_factor` (>1) past the previous checkpoint, and once at the
 /// end. Returns the checkpoints in order.

@@ -17,6 +17,15 @@ void CommMeter::RecordUpload(int site, uint64_t words) {
   }
 }
 
+void CommMeter::RecordUploadBulk(int site, uint64_t messages,
+                                 uint64_t words) {
+  uploads_.messages += messages;
+  uploads_.words += words;
+  if (site >= 0 && site < num_sites_) {
+    site_upload_messages_[static_cast<size_t>(site)] += messages;
+  }
+}
+
 void CommMeter::RecordDownload(int /*site*/, uint64_t words) {
   downloads_.messages += 1;
   downloads_.words += std::max<uint64_t>(1, words);

@@ -34,6 +34,12 @@ class CommMeter {
   /// Site -> coordinator message with `words` payload words.
   void RecordUpload(int site, uint64_t words);
 
+  /// `messages` site -> coordinator messages carrying `words` charged
+  /// words in total. Used by the shard-ingest barriers to fold a whole
+  /// epoch's deferred per-site charges in one call; the caller applies
+  /// the max(1, payload)-per-message rule when accumulating.
+  void RecordUploadBulk(int site, uint64_t messages, uint64_t words);
+
   /// Coordinator -> single site message with `words` payload words.
   void RecordDownload(int site, uint64_t words);
 

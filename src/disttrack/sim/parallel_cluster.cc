@@ -1,0 +1,648 @@
+#include "disttrack/sim/parallel_cluster.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+namespace disttrack {
+namespace sim {
+
+// ------------------------------------------------------------ worker pool
+
+// threads_ - 1 persistent workers plus the calling thread; tasks are
+// handed out via an atomic cursor, and the start/done hand-offs go
+// through one mutex + two condvars, which also establishes the
+// happens-before edges the epoch barriers rely on.
+class ParallelCluster::Pool {
+ public:
+  explicit Pool(int workers) {
+    threads_.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_start_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  void Run(int num_tasks, const std::function<void(int)>& fn) {
+    if (num_tasks <= 0) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      fn_ = &fn;
+      num_tasks_ = num_tasks;
+      next_task_.store(0, std::memory_order_relaxed);
+      active_ = static_cast<int>(threads_.size());
+      ++generation_;
+    }
+    cv_start_.notify_all();
+    Drain(fn, num_tasks);
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [this] { return active_ == 0; });
+    fn_ = nullptr;
+  }
+
+ private:
+  void Drain(const std::function<void(int)>& fn, int num_tasks) {
+    for (;;) {
+      int task = next_task_.fetch_add(1, std::memory_order_relaxed);
+      if (task >= num_tasks) break;
+      fn(task);
+    }
+  }
+
+  void WorkerLoop() {
+    uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(int)>* fn = nullptr;
+      int num_tasks = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_start_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+        if (shutdown_) return;
+        seen = generation_;
+        fn = fn_;
+        num_tasks = num_tasks_;
+      }
+      Drain(*fn, num_tasks);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --active_;
+      }
+      cv_done_.notify_one();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* fn_ = nullptr;
+  std::atomic<int> next_task_{0};
+  int num_tasks_ = 0;
+  int active_ = 0;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+// ------------------------------------------------------------------- plan
+
+// The coordinator-only pre-pass product: every epoch boundary, the
+// per-site slice offsets at each boundary, the per-site key shards, and
+// the ground-truth curve. Owned as reusable scratch by the cluster so
+// steady-state replays plan without allocating.
+struct ParallelCluster::Plan {
+  // One epoch barrier. `pos` is a global arrival index for broadcast
+  // stops (the arrival at `pos` is delivered serially after the barrier)
+  // and an arrival count for checkpoint stops (sample once `pos` arrivals
+  // are in). boundary_site >= 0 identifies a broadcast stop.
+  struct Stop {
+    uint64_t pos = 0;
+    int boundary_site = -1;
+  };
+  int num_sites = 0;
+  uint64_t total = 0;
+  std::vector<Stop> stops;
+  // Row b: for each site, its arrival count among global indices
+  // [0, stops[b].pos) — the slice end of the epoch closing at stop b.
+  std::vector<uint64_t> snapshots;
+  std::vector<uint64_t> site_total;
+  // Ground truth at each checkpoint stop, in stop order (count replays
+  // use the arrival count itself and leave this empty).
+  std::vector<double> checkpoint_truth;
+  // Per-site shards (keyed replays only): the site's arrivals in stream
+  // order, plus their global indices when the ingest asks for them.
+  std::vector<std::vector<uint64_t>> site_keys;
+  std::vector<std::vector<uint32_t>> site_indices;
+
+  // Sliced-count-planner scratch, pooled with the plan so steady-state
+  // multi-threaded count replays do not allocate either.
+  struct ReportEvent {
+    uint64_t pos;
+    uint64_t ordinal;
+    int site;
+  };
+  std::vector<uint64_t> slice_hist;
+  std::vector<uint64_t> slice_start;
+  std::vector<std::vector<ReportEvent>> slice_events;
+  std::vector<std::pair<size_t, size_t>> stop_runs;
+
+  void Reset(int k) {
+    num_sites = k;
+    total = 0;
+    stops.clear();
+    snapshots.clear();
+    site_total.assign(static_cast<size_t>(k), 0);
+    checkpoint_truth.clear();
+    if (site_keys.size() != static_cast<size_t>(k)) {
+      site_keys.resize(static_cast<size_t>(k));
+      site_indices.resize(static_cast<size_t>(k));
+    }
+    for (auto& v : site_keys) v.clear();
+    for (auto& v : site_indices) v.clear();
+  }
+};
+
+namespace {
+
+void CheckShardableSize(uint64_t total) {
+  if (total > std::numeric_limits<uint32_t>::max()) {
+    std::fprintf(stderr,
+                 "ParallelCluster: workload of %llu elements exceeds the "
+                 "32-bit global-index limit of the shard planner\n",
+                 static_cast<unsigned long long>(total));
+    std::abort();
+  }
+}
+
+// The CoarseTracker coordinator evolution every randomized tracker
+// drives, reduced to its deterministic skeleton: a site's report fires
+// on its 2^j-th arrival and carries n' delta 2^(j-1) (1 for the first),
+// and a report whose delta tips n' past max(1, 2 n̄) broadcasts.
+uint64_t CoarseReportDelta(uint64_t ordinal) {
+  return ordinal == 1 ? 1 : ordinal / 2;
+}
+
+// Smallest power-of-two report ordinal strictly greater than `count`.
+uint64_t NextReportOrdinal(uint64_t count) {
+  if (count == 0) return 1;
+  return uint64_t{1} << (64 - __builtin_clzll(count));
+}
+
+}  // namespace
+
+ParallelCluster::Plan* ParallelCluster::PreparePlan(int num_sites) {
+  if (plan_scratch_ == nullptr) plan_scratch_ = std::make_unique<Plan>();
+  plan_scratch_->Reset(num_sites);
+  return plan_scratch_.get();
+}
+
+// The shared serial coordinator walk: replicates the CoarseTracker
+// evolution exactly (no randomness is involved, so the broadcast arrival
+// indices — the points where coordinator state feeds back into every
+// site — are known before replay starts) and snapshots per-site counts
+// at every stop. `at_checkpoint` fires right after a checkpoint stop is
+// recorded; `per_arrival(i, site)` fires for every arrival in order.
+template <typename SiteAt, typename AtCheckpoint, typename PerArrival>
+void ParallelCluster::CoordinatorWalk(SiteAt site_at, uint64_t total,
+                                      int num_sites,
+                                      double checkpoint_factor, Plan* plan,
+                                      AtCheckpoint at_checkpoint,
+                                      PerArrival per_arrival) {
+  std::vector<uint64_t> checkpoints =
+      CheckpointCounts(total, checkpoint_factor);
+  size_t next_checkpoint = 0;
+  plan->total = total;
+  size_t k = static_cast<size_t>(num_sites);
+  std::vector<uint64_t> count(k, 0);
+  std::vector<uint64_t> next_report(k, 1);
+  std::vector<uint64_t> last_reported(k, 0);
+  uint64_t n_prime = 0;
+  uint64_t n_bar = 0;
+
+  auto snapshot = [&] {
+    plan->snapshots.insert(plan->snapshots.end(), count.begin(), count.end());
+  };
+
+  for (uint64_t i = 0; i <= total; ++i) {
+    if (next_checkpoint < checkpoints.size() &&
+        checkpoints[next_checkpoint] == i) {
+      plan->stops.push_back(Plan::Stop{i, -1});
+      snapshot();
+      at_checkpoint();
+      ++next_checkpoint;
+    }
+    if (i == total) break;
+    int site = site_at(i);
+    CheckSiteInRange(site, num_sites);
+    size_t s = static_cast<size_t>(site);
+    if (count[s] + 1 >= next_report[s]) {
+      // This arrival makes the site report; does the report broadcast?
+      uint64_t reported = count[s] + 1;
+      uint64_t delta = reported - last_reported[s];
+      if (n_prime + delta >= std::max<uint64_t>(1, 2 * n_bar)) {
+        // Broadcast: the epoch ends here, before this arrival.
+        plan->stops.push_back(Plan::Stop{i, site});
+        snapshot();
+        n_bar = n_prime + delta;
+      }
+      n_prime += delta;
+      last_reported[s] = reported;
+      next_report[s] = reported * 2;
+    }
+    ++count[s];
+    per_arrival(i, site);
+  }
+  plan->site_total = std::move(count);
+}
+
+// Fused single-pass count planner: the coordinator walk with no
+// per-arrival payload.
+template <typename SiteAt>
+void ParallelCluster::BuildCountPlanSerial(SiteAt site_at, uint64_t total,
+                                           int num_sites,
+                                           double checkpoint_factor,
+                                           Plan* plan) {
+  CoordinatorWalk(site_at, total, num_sites, checkpoint_factor, plan,
+                  [] {}, [](uint64_t, int) {});
+}
+
+// Sliced parallel count planner: the identical plan from two short
+// parallel passes (per-slice site histograms, then exact report
+// positions given each slice's start counts), a tiny serial walk over
+// the ~k log(n/k) report events, and one parallel partial scan per
+// stop-bearing slice for the snapshots. Without this, the serial
+// coordinator pre-pass is the Amdahl bottleneck of the count replay
+// (whose epoch work is event-driven and near-free).
+template <typename SiteAt>
+void ParallelCluster::BuildCountPlanSliced(SiteAt site_at, uint64_t total,
+                                           int num_sites,
+                                           double checkpoint_factor,
+                                           Plan* plan) {
+  std::vector<uint64_t> checkpoints =
+      CheckpointCounts(total, checkpoint_factor);
+  plan->total = total;
+  size_t k = static_cast<size_t>(num_sites);
+  int num_slices = std::max(1, threads_ * 8);
+  uint64_t slice_len =
+      std::max<uint64_t>(1, (total + num_slices - 1) / num_slices);
+  num_slices = static_cast<int>((total + slice_len - 1) / slice_len);
+  if (num_slices == 0) num_slices = 1;
+  auto slice_begin = [&](int j) {
+    return std::min(total, static_cast<uint64_t>(j) * slice_len);
+  };
+
+  // Pass A (parallel): per-slice site histograms, with validation.
+  std::vector<uint64_t>& hist = plan->slice_hist;
+  hist.assign(static_cast<size_t>(num_slices) * k, 0);
+  RunTasks(num_slices, [&](int j) {
+    uint64_t* h = hist.data() + static_cast<size_t>(j) * k;
+    uint64_t end = slice_begin(j + 1);
+    for (uint64_t i = slice_begin(j); i < end; ++i) {
+      int site = site_at(i);
+      CheckSiteInRange(site, num_sites);
+      ++h[static_cast<size_t>(site)];
+    }
+  });
+  // Exclusive prefix over slices: start[j*k + s] = site s's count before
+  // slice j.
+  std::vector<uint64_t>& start = plan->slice_start;
+  start.assign(static_cast<size_t>(num_slices) * k, 0);
+  for (int j = 1; j < num_slices; ++j) {
+    const uint64_t* prev_start = start.data() + static_cast<size_t>(j - 1) * k;
+    const uint64_t* prev_hist = hist.data() + static_cast<size_t>(j - 1) * k;
+    uint64_t* cur = start.data() + static_cast<size_t>(j) * k;
+    for (size_t s = 0; s < k; ++s) cur[s] = prev_start[s] + prev_hist[s];
+  }
+  for (size_t s = 0; s < k; ++s) {
+    size_t last = static_cast<size_t>(num_slices - 1) * k + s;
+    plan->site_total[s] = start[last] + hist[last];
+  }
+
+  // Pass B (parallel): exact global positions of every coarse report
+  // (each site's 2^j-th arrival). Slice-local event lists concatenate
+  // into a globally index-sorted sequence.
+  using ReportEvent = Plan::ReportEvent;
+  std::vector<std::vector<ReportEvent>>& slice_events = plan->slice_events;
+  if (slice_events.size() < static_cast<size_t>(num_slices)) {
+    slice_events.resize(static_cast<size_t>(num_slices));
+  }
+  for (auto& v : slice_events) v.clear();
+  RunTasks(num_slices, [&](int j) {
+    std::vector<uint64_t> cnt(start.begin() + static_cast<size_t>(j) * k,
+                              start.begin() + static_cast<size_t>(j) * k + k);
+    std::vector<uint64_t> target(k);
+    for (size_t s = 0; s < k; ++s) target[s] = NextReportOrdinal(cnt[s]);
+    auto& events = slice_events[static_cast<size_t>(j)];
+    uint64_t end = slice_begin(j + 1);
+    for (uint64_t i = slice_begin(j); i < end; ++i) {
+      size_t s = static_cast<size_t>(site_at(i));
+      if (++cnt[s] == target[s]) {
+        events.push_back(ReportEvent{i, cnt[s], static_cast<int>(s)});
+        target[s] *= 2;
+      }
+    }
+  });
+
+  // Serial walk of the event sequence: replicate the broadcast condition
+  // and merge in the checkpoint schedule (a checkpoint at count c
+  // samples before arrival c is delivered, so it precedes a broadcast
+  // whose arrival index equals c).
+  size_t next_checkpoint = 0;
+  uint64_t n_prime = 0;
+  uint64_t n_bar = 0;
+  auto flush_checkpoints_through = [&](uint64_t pos) {
+    while (next_checkpoint < checkpoints.size() &&
+           checkpoints[next_checkpoint] <= pos) {
+      plan->stops.push_back(Plan::Stop{checkpoints[next_checkpoint], -1});
+      ++next_checkpoint;
+    }
+  };
+  for (int j = 0; j < num_slices; ++j) {
+    for (const ReportEvent& ev : slice_events[static_cast<size_t>(j)]) {
+      uint64_t delta = CoarseReportDelta(ev.ordinal);
+      if (n_prime + delta >= std::max<uint64_t>(1, 2 * n_bar)) {
+        flush_checkpoints_through(ev.pos);
+        plan->stops.push_back(Plan::Stop{ev.pos, ev.site});
+        n_bar = n_prime + delta;
+      }
+      n_prime += delta;
+    }
+  }
+  flush_checkpoints_through(total);
+
+  // Snapshots (parallel): group stops by the slice containing their
+  // position; each stop-bearing slice is scanned once, resolving all its
+  // stops in order. Rows are preallocated, so workers write disjoint
+  // ranges.
+  plan->snapshots.assign(plan->stops.size() * k, 0);
+  std::vector<std::pair<size_t, size_t>>& runs = plan->stop_runs;
+  runs.clear();  // stop-index ranges
+  auto slice_of = [&](uint64_t pos) {
+    return pos >= total ? num_slices - 1 : static_cast<int>(pos / slice_len);
+  };
+  for (size_t b = 0; b < plan->stops.size();) {
+    size_t e = b + 1;
+    while (e < plan->stops.size() &&
+           slice_of(plan->stops[e].pos) == slice_of(plan->stops[b].pos)) {
+      ++e;
+    }
+    runs.emplace_back(b, e);
+    b = e;
+  }
+  RunTasks(static_cast<int>(runs.size()), [&](int r) {
+    auto [b_begin, b_end] = runs[static_cast<size_t>(r)];
+    int j = slice_of(plan->stops[b_begin].pos);
+    std::vector<uint64_t> cnt(start.begin() + static_cast<size_t>(j) * k,
+                              start.begin() + static_cast<size_t>(j) * k + k);
+    uint64_t i = slice_begin(j);
+    for (size_t b = b_begin; b < b_end; ++b) {
+      uint64_t pos = plan->stops[b].pos;
+      for (; i < pos; ++i) {
+        ++cnt[static_cast<size_t>(site_at(i))];
+      }
+      std::copy(cnt.begin(), cnt.end(), plan->snapshots.begin() + b * k);
+    }
+  });
+}
+
+// Fused single-pass keyed planner: the coordinator walk, with each
+// arrival also scattered into its site's key shard (plus its global
+// index when the ingest wants it) and folded into the truth curve.
+template <bool kWantIndices, typename TruthTerm>
+void ParallelCluster::BuildKeyedPlan(const Workload& workload, int num_sites,
+                                     double checkpoint_factor,
+                                     TruthTerm truth_term, Plan* plan) {
+  uint64_t truth = 0;
+  CoordinatorWalk(
+      [&](uint64_t i) { return workload[i].site; }, workload.size(),
+      num_sites, checkpoint_factor, plan,
+      [&] { plan->checkpoint_truth.push_back(static_cast<double>(truth)); },
+      [&](uint64_t i, int site) {
+        const Arrival& a = workload[i];
+        size_t s = static_cast<size_t>(site);
+        plan->site_keys[s].push_back(a.key);
+        if (kWantIndices) {
+          plan->site_indices[s].push_back(static_cast<uint32_t>(i));
+        }
+        truth += truth_term(a.key);
+      });
+}
+
+// ---------------------------------------------------------------- driver
+
+ParallelCluster::ParallelCluster(int threads)
+    : threads_(std::max(1, threads)) {}
+
+ParallelCluster::~ParallelCluster() = default;
+
+void ParallelCluster::RunTasks(int num_tasks,
+                               const std::function<void(int)>& fn) {
+  if (threads_ == 1 || num_tasks <= 1) {
+    for (int i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  if (pool_ == nullptr) pool_ = std::make_unique<Pool>(threads_ - 1);
+  pool_->Run(num_tasks, fn);
+}
+
+void ParallelCluster::RunEpochTasks(int num_tasks, uint64_t epoch_len,
+                                    const std::function<void(int)>& fn) {
+  if (epoch_len < 2048 * static_cast<uint64_t>(threads_)) {
+    for (int i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  RunTasks(num_tasks, fn);
+}
+
+namespace {
+
+// Shared epoch loop. `run_epoch(begin_row, end_row, epoch_len)` delivers
+// one epoch's per-site slices through the shard handle (begin/end are
+// per-site offset rows); `boundary(stop)` delivers a broadcast arrival
+// serially; `sample(stop, checkpoint_index)` reads the estimate.
+template <typename EpochBody, typename BoundaryFn, typename SampleFn>
+std::vector<Checkpoint> RunPlanLoop(const ParallelCluster::Plan* plan_ptr,
+                                    EpochBody run_epoch, BoundaryFn boundary,
+                                    SampleFn sample) {
+  const auto& plan = *plan_ptr;
+  size_t k = static_cast<size_t>(plan.num_sites);
+  std::vector<uint64_t> cur(k, 0);
+  std::vector<Checkpoint> out;
+  uint64_t delivered = 0;
+  size_t checkpoint_index = 0;
+  for (size_t b = 0; b < plan.stops.size(); ++b) {
+    const auto& stop = plan.stops[b];
+    const uint64_t* snap = plan.snapshots.data() + b * k;
+    uint64_t epoch_len = stop.pos - delivered;
+    if (epoch_len > 0) run_epoch(cur.data(), snap, epoch_len);
+    std::copy(snap, snap + k, cur.begin());
+    if (stop.boundary_site >= 0) {
+      boundary(stop);
+      ++cur[static_cast<size_t>(stop.boundary_site)];
+      delivered = stop.pos + 1;
+    } else {
+      out.push_back(sample(stop, checkpoint_index));
+      ++checkpoint_index;
+      delivered = stop.pos;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Checkpoint> ParallelCluster::DriveCountPlan(
+    CountTrackerInterface* tracker, CountShardIngest* ingest, Plan* plan) {
+  int num_sites = plan->num_sites;
+  std::vector<int> task_sites(static_cast<size_t>(num_sites));
+  auto run_epoch = [&](const uint64_t* begin, const uint64_t* end,
+                       uint64_t epoch_len) {
+    int tasks = 0;
+    for (int s = 0; s < num_sites; ++s) {
+      if (end[s] > begin[s]) task_sites[static_cast<size_t>(tasks++)] = s;
+    }
+    ingest->ShardEpochBegin(epoch_len);
+    RunEpochTasks(tasks, epoch_len, [&](int t) {
+      int s = task_sites[static_cast<size_t>(t)];
+      ingest->ShardArriveRun(s, end[s] - begin[s]);
+    });
+    ingest->ShardEpochEnd();
+  };
+  auto boundary = [&](const Plan::Stop& stop) {
+    tracker->Arrive(stop.boundary_site);
+  };
+  auto sample = [&](const Plan::Stop& stop, size_t) {
+    return Checkpoint{stop.pos, tracker->EstimateCount(),
+                      static_cast<double>(stop.pos)};
+  };
+  return RunPlanLoop(plan, run_epoch, boundary, sample);
+}
+
+template <typename Tracker, typename EstimateFn>
+std::vector<Checkpoint> ParallelCluster::DriveKeyedPlan(
+    Tracker* tracker, KeyedShardIngest* ingest, bool want_indices,
+    const Workload& workload, EstimateFn estimate, Plan* plan) {
+  int num_sites = plan->num_sites;
+  std::vector<int> task_sites(static_cast<size_t>(num_sites));
+  auto run_epoch = [&](const uint64_t* begin, const uint64_t* end,
+                       uint64_t epoch_len) {
+    int tasks = 0;
+    for (int s = 0; s < num_sites; ++s) {
+      if (end[s] > begin[s]) task_sites[static_cast<size_t>(tasks++)] = s;
+    }
+    ingest->ShardEpochBegin(epoch_len);
+    RunEpochTasks(tasks, epoch_len, [&](int t) {
+      size_t s = static_cast<size_t>(task_sites[static_cast<size_t>(t)]);
+      const uint32_t* idx =
+          want_indices ? plan->site_indices[s].data() + begin[s] : nullptr;
+      ingest->ShardArriveRun(static_cast<int>(s),
+                             plan->site_keys[s].data() + begin[s], idx,
+                             end[s] - begin[s]);
+    });
+    ingest->ShardEpochEnd();
+  };
+  auto boundary = [&](const Plan::Stop& stop) {
+    tracker->Arrive(stop.boundary_site, workload[stop.pos].key);
+  };
+  auto sample = [&](const Plan::Stop& stop, size_t checkpoint_index) {
+    return Checkpoint{stop.pos, estimate(),
+                      plan->checkpoint_truth[checkpoint_index]};
+  };
+  return RunPlanLoop(plan, run_epoch, boundary, sample);
+}
+
+std::vector<Checkpoint> ParallelCluster::ReplayCountSites(
+    CountTrackerInterface* tracker, const SiteStream& sites,
+    double checkpoint_factor) {
+  CountShardIngest* ingest = tracker->shard_ingest();
+  if (ingest == nullptr) {
+    last_replay_sharded_ = false;
+    return sim::ReplayCountSites(tracker, sites, checkpoint_factor);
+  }
+  last_replay_sharded_ = true;
+  int num_sites = tracker->meter().num_sites();
+  Plan* plan = PreparePlan(num_sites);
+  auto site_at = [&](uint64_t i) { return static_cast<int>(sites[i]); };
+  if (threads_ > 1) {
+    BuildCountPlanSliced(site_at, sites.size(), num_sites, checkpoint_factor,
+                         plan);
+  } else {
+    BuildCountPlanSerial(site_at, sites.size(), num_sites, checkpoint_factor,
+                         plan);
+  }
+  return DriveCountPlan(tracker, ingest, plan);
+}
+
+std::vector<Checkpoint> ParallelCluster::ReplayCount(
+    CountTrackerInterface* tracker, const Workload& workload,
+    double checkpoint_factor) {
+  CountShardIngest* ingest = tracker->shard_ingest();
+  if (ingest == nullptr) {
+    last_replay_sharded_ = false;
+    return sim::ReplayCount(tracker, workload, checkpoint_factor);
+  }
+  last_replay_sharded_ = true;
+  int num_sites = tracker->meter().num_sites();
+  Plan* plan = PreparePlan(num_sites);
+  auto site_at = [&](uint64_t i) { return workload[i].site; };
+  if (threads_ > 1) {
+    BuildCountPlanSliced(site_at, workload.size(), num_sites,
+                         checkpoint_factor, plan);
+  } else {
+    BuildCountPlanSerial(site_at, workload.size(), num_sites,
+                         checkpoint_factor, plan);
+  }
+  return DriveCountPlan(tracker, ingest, plan);
+}
+
+std::vector<Checkpoint> ParallelCluster::ReplayFrequency(
+    FrequencyTrackerInterface* tracker, const Workload& workload,
+    uint64_t query_item, double checkpoint_factor) {
+  KeyedShardIngest* ingest = tracker->shard_ingest();
+  if (ingest == nullptr) {
+    last_replay_sharded_ = false;
+    return sim::ReplayFrequency(tracker, workload, query_item,
+                                checkpoint_factor);
+  }
+  last_replay_sharded_ = true;
+  CheckShardableSize(workload.size());
+  int num_sites = tracker->meter().num_sites();
+  Plan* plan = PreparePlan(num_sites);
+  bool want_indices = ingest->wants_global_indices();
+  auto truth_term = [&](uint64_t key) {
+    return key == query_item ? uint64_t{1} : uint64_t{0};
+  };
+  if (want_indices) {
+    BuildKeyedPlan<true>(workload, num_sites, checkpoint_factor, truth_term,
+                         plan);
+  } else {
+    BuildKeyedPlan<false>(workload, num_sites, checkpoint_factor, truth_term,
+                          plan);
+  }
+  return DriveKeyedPlan(
+      tracker, ingest, want_indices, workload,
+      [&] { return tracker->EstimateFrequency(query_item); }, plan);
+}
+
+std::vector<Checkpoint> ParallelCluster::ReplayRank(
+    RankTrackerInterface* tracker, const Workload& workload,
+    uint64_t query_value, double checkpoint_factor) {
+  KeyedShardIngest* ingest = tracker->shard_ingest();
+  if (ingest == nullptr) {
+    last_replay_sharded_ = false;
+    return sim::ReplayRank(tracker, workload, query_value, checkpoint_factor);
+  }
+  last_replay_sharded_ = true;
+  CheckShardableSize(workload.size());
+  int num_sites = tracker->meter().num_sites();
+  Plan* plan = PreparePlan(num_sites);
+  bool want_indices = ingest->wants_global_indices();
+  auto truth_term = [&](uint64_t key) {
+    return key < query_value ? uint64_t{1} : uint64_t{0};
+  };
+  if (want_indices) {
+    BuildKeyedPlan<true>(workload, num_sites, checkpoint_factor, truth_term,
+                         plan);
+  } else {
+    BuildKeyedPlan<false>(workload, num_sites, checkpoint_factor, truth_term,
+                          plan);
+  }
+  return DriveKeyedPlan(tracker, ingest, want_indices, workload,
+                        [&] { return tracker->EstimateRank(query_value); },
+                        plan);
+}
+
+}  // namespace sim
+}  // namespace disttrack

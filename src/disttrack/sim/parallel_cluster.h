@@ -1,0 +1,166 @@
+// Sharded multi-threaded replay: the parallel counterpart of the serial
+// Replay* drivers in cluster.h.
+//
+// The paper's model (§1.1) is k independent sites talking to one
+// coordinator, which makes a recorded workload embarrassingly parallel
+// *between* coordinator interactions: sites only couple through the
+// CoarseTracker broadcasts (p-halvings / round advances) every randomized
+// protocol hangs off. Those broadcasts are a deterministic function of the
+// site schedule alone — a site reports when its local count doubles, the
+// coordinator re-broadcasts when the reported sum doubles, no randomness
+// involved — so a cheap coordinator-only pre-pass over the site ids finds
+// the exact global arrival index of every broadcast before replay starts.
+//
+// ParallelCluster turns each such index, plus every checkpoint of the
+// shared CheckpointCounts schedule, into an *epoch barrier*:
+//
+//   plan      one pass over the workload: per-site shards (keys + global
+//             indices), the coarse broadcast schedule, per-site slice
+//             offsets at every boundary, and the ground-truth curve;
+//   epoch     worker threads advance each site's slice through the
+//             tracker's shard-ingest handle (sim/shard.h) — site-local
+//             state only, coordinator messages buffered per site;
+//   barrier   the driver thread folds the buffered messages in global
+//             arrival order, then delivers the broadcast-triggering
+//             arrival itself through the plain serial Arrive() path (so
+//             the ritual/round logic runs unchanged), or samples a
+//             checkpoint.
+//
+// Within an epoch every quantity a site reads (p, thresholds, round
+// geometry) is frozen, and each site consumes its private RNG stream at
+// exactly the per-site offsets of the serial execution. The replay is
+// therefore deterministic given the seed, independent of the thread
+// count, and bit-identical to the serial drivers for the randomized
+// count, frequency, and rank trackers as well as the deterministic count
+// tracker (pinned by tests/parallel_cluster_test.cc). Trackers without a
+// shard-ingest handle (per-arrival coin paths, median boosters, the
+// sampling baseline) transparently fall back to the serial driver.
+
+#ifndef DISTTRACK_SIM_PARALLEL_CLUSTER_H_
+#define DISTTRACK_SIM_PARALLEL_CLUSTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "disttrack/sim/cluster.h"
+#include "disttrack/sim/protocol.h"
+
+namespace disttrack {
+namespace sim {
+
+/// A thread-pool replay engine; one instance owns `threads` worker
+/// threads (threads == 1 runs everything on the calling thread) and can
+/// replay any number of workloads sequentially. Not itself thread-safe:
+/// drive it from one thread.
+class ParallelCluster {
+ public:
+  /// `threads` is clamped to >= 1. Workers are lazily started on the
+  /// first sharded replay.
+  explicit ParallelCluster(int threads);
+  ~ParallelCluster();
+
+  ParallelCluster(const ParallelCluster&) = delete;
+  ParallelCluster& operator=(const ParallelCluster&) = delete;
+
+  /// Parallel counterparts of the serial drivers (same checkpoint
+  /// schedule, same Checkpoint contract). Aborts on out-of-range site
+  /// ids, like every delivery path. Falls back to the serial driver when
+  /// `tracker->shard_ingest()` is null.
+  std::vector<Checkpoint> ReplayCount(CountTrackerInterface* tracker,
+                                      const Workload& workload,
+                                      double checkpoint_factor = 1.5);
+  std::vector<Checkpoint> ReplayCountSites(CountTrackerInterface* tracker,
+                                           const SiteStream& sites,
+                                           double checkpoint_factor = 1.5);
+  std::vector<Checkpoint> ReplayFrequency(FrequencyTrackerInterface* tracker,
+                                          const Workload& workload,
+                                          uint64_t query_item,
+                                          double checkpoint_factor = 1.5);
+  std::vector<Checkpoint> ReplayRank(RankTrackerInterface* tracker,
+                                     const Workload& workload,
+                                     uint64_t query_value,
+                                     double checkpoint_factor = 1.5);
+
+  int threads() const { return threads_; }
+
+  /// True iff the last Replay* call actually ran the sharded engine
+  /// (false = serial fallback). Diagnostics/tests.
+  bool last_replay_sharded() const { return last_replay_sharded_; }
+
+  /// The pre-pass product (epoch barriers, per-site slices, truth curve);
+  /// public only so the implementation's free helpers can name it.
+  struct Plan;
+
+ private:
+  class Pool;
+
+  // Runs `fn(task)` for task in [0, num_tasks) across the workers (inline
+  // when threads_ == 1); returns after all tasks completed.
+  void RunTasks(int num_tasks, const std::function<void(int)>& fn);
+
+  // RunTasks for one epoch's site slices: epochs shorter than ~2K
+  // arrivals per thread (the broadcast-dense stream prefix) run inline —
+  // the pool hand-off would cost more than the work.
+  void RunEpochTasks(int num_tasks, uint64_t epoch_len,
+                     const std::function<void(int)>& fn);
+
+  // Returns the reusable plan scratch, cleared for a fresh replay of
+  // `num_sites` sites (buffers keep their capacity, so steady-state
+  // replays plan without allocating).
+  Plan* PreparePlan(int num_sites);
+
+  // The shared serial coordinator walk: replicates the CoarseTracker
+  // report/broadcast evolution over the site schedule in one pass,
+  // pushing stops + snapshots into the plan, and invoking the hooks at
+  // each checkpoint stop / recorded arrival (the keyed planner scatters
+  // keys and accumulates truth there; the count planner passes no-ops).
+  // The only other encodings of the report/broadcast law are the sliced
+  // planner's constant-folded form and CoarseTracker itself.
+  template <typename SiteAt, typename AtCheckpoint, typename PerArrival>
+  void CoordinatorWalk(SiteAt site_at, uint64_t total, int num_sites,
+                       double checkpoint_factor, Plan* plan,
+                       AtCheckpoint at_checkpoint, PerArrival per_arrival);
+
+  // Count planners: the single fused coordinator walk (threads == 1) and
+  // the sliced parallel variant (two short parallel passes + a tiny
+  // serial event walk). Both produce the identical plan.
+  template <typename SiteAt>
+  void BuildCountPlanSerial(SiteAt site_at, uint64_t total, int num_sites,
+                            double checkpoint_factor, Plan* plan);
+  template <typename SiteAt>
+  void BuildCountPlanSliced(SiteAt site_at, uint64_t total, int num_sites,
+                            double checkpoint_factor, Plan* plan);
+
+  // Keyed planner: one fused coordinator walk that also scatters the
+  // per-site key (and optionally global-index) shards and the truth
+  // curve.
+  template <bool kWantIndices, typename TruthTerm>
+  void BuildKeyedPlan(const Workload& workload, int num_sites,
+                      double checkpoint_factor, TruthTerm truth_term,
+                      Plan* plan);
+
+  // Plan executors, shared by the Replay* entry points: walk the stops,
+  // dispatch each epoch's per-site slices to the shard handle, deliver
+  // broadcast arrivals serially, sample checkpoints.
+  std::vector<Checkpoint> DriveCountPlan(CountTrackerInterface* tracker,
+                                         CountShardIngest* ingest,
+                                         Plan* plan);
+  template <typename Tracker, typename EstimateFn>
+  std::vector<Checkpoint> DriveKeyedPlan(Tracker* tracker,
+                                         KeyedShardIngest* ingest,
+                                         bool want_indices,
+                                         const Workload& workload,
+                                         EstimateFn estimate, Plan* plan);
+
+  int threads_;
+  bool last_replay_sharded_ = false;
+  std::unique_ptr<Pool> pool_;
+  std::unique_ptr<Plan> plan_scratch_;
+};
+
+}  // namespace sim
+}  // namespace disttrack
+
+#endif  // DISTTRACK_SIM_PARALLEL_CLUSTER_H_

@@ -14,8 +14,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 
 #include "disttrack/sim/comm_meter.h"
+#include "disttrack/sim/shard.h"
 #include "disttrack/sim/space_gauge.h"
 
 namespace disttrack {
@@ -27,6 +30,19 @@ struct Arrival {
   int site = 0;
   uint64_t key = 0;
 };
+
+/// Aborts with a diagnostic unless `site` is a valid site id. An id >= k
+/// would index per-site state out of bounds, so every replay delivery
+/// path validates before touching tracker state (same contract as the
+/// checkpoint_factor check in sim/cluster.cc).
+inline void CheckSiteInRange(int site, int num_sites) {
+  if (site < 0 || site >= num_sites) {
+    std::fprintf(stderr,
+                 "disttrack: arrival site %d out of range [0, %d)\n", site,
+                 num_sites);
+    std::abort();
+  }
+}
 
 /// Count-tracking (§2): maintain n = Σ nᵢ within ±εn.
 class CountTrackerInterface {
@@ -41,7 +57,11 @@ class CountTrackerInterface {
   /// dispatch per batch instead of per element, and so that trackers with a
   /// cheap inlinable per-element path (skip sampling) can expose it.
   virtual void ArriveBatch(const Arrival* arrivals, size_t count) {
-    for (size_t i = 0; i < count; ++i) Arrive(arrivals[i].site);
+    int k = meter().num_sites();
+    for (size_t i = 0; i < count; ++i) {
+      CheckSiteInRange(arrivals[i].site, k);
+      Arrive(arrivals[i].site);
+    }
   }
 
   /// Batched delivery of a pure site stream. Count arrivals carry no key,
@@ -50,8 +70,17 @@ class CountTrackerInterface {
   /// work drops below memory-streaming cost (the skip-sampling fast path
   /// does). Semantically identical to Arrive(sites[i]) in order.
   virtual void ArriveSites(const uint16_t* sites, size_t count) {
-    for (size_t i = 0; i < count; ++i) Arrive(sites[i]);
+    int k = meter().num_sites();
+    for (size_t i = 0; i < count; ++i) {
+      CheckSiteInRange(sites[i], k);
+      Arrive(sites[i]);
+    }
   }
+
+  /// Per-site parallel ingest handle (see sim/shard.h), or nullptr when
+  /// the tracker (or its current option set) does not support sharded
+  /// replay — sim::ParallelCluster then falls back to the serial driver.
+  virtual CountShardIngest* shard_ingest() { return nullptr; }
 
   /// The coordinator's current estimate n̂ of the global count.
   virtual double EstimateCount() const = 0;
@@ -76,8 +105,15 @@ class FrequencyTrackerInterface {
 
   /// Batched Arrive(); see CountTrackerInterface::ArriveBatch.
   virtual void ArriveBatch(const Arrival* arrivals, size_t count) {
-    for (size_t i = 0; i < count; ++i) Arrive(arrivals[i].site, arrivals[i].key);
+    int k = meter().num_sites();
+    for (size_t i = 0; i < count; ++i) {
+      CheckSiteInRange(arrivals[i].site, k);
+      Arrive(arrivals[i].site, arrivals[i].key);
+    }
   }
+
+  /// Per-site parallel ingest handle; see CountTrackerInterface.
+  virtual KeyedShardIngest* shard_ingest() { return nullptr; }
 
   /// The coordinator's estimate f̂ⱼ of item `item`'s global frequency.
   /// May be negative for rare items (the unbiased estimator (4) of §3.1).
@@ -103,8 +139,15 @@ class RankTrackerInterface {
 
   /// Batched Arrive(); see CountTrackerInterface::ArriveBatch.
   virtual void ArriveBatch(const Arrival* arrivals, size_t count) {
-    for (size_t i = 0; i < count; ++i) Arrive(arrivals[i].site, arrivals[i].key);
+    int k = meter().num_sites();
+    for (size_t i = 0; i < count; ++i) {
+      CheckSiteInRange(arrivals[i].site, k);
+      Arrive(arrivals[i].site, arrivals[i].key);
+    }
   }
+
+  /// Per-site parallel ingest handle; see CountTrackerInterface.
+  virtual KeyedShardIngest* shard_ingest() { return nullptr; }
 
   /// The coordinator's estimate of |{y in stream : y < value}|.
   virtual double EstimateRank(uint64_t value) const = 0;

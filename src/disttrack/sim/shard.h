@@ -1,0 +1,80 @@
+// Per-site shard ingest: the parallel replay surface of a tracker.
+//
+// The paper's model (§1.1) is k independent sites that communicate only
+// with the coordinator, so a recorded workload can be sharded by site and
+// advanced on worker threads as long as every coordinator interaction is
+// deferred to a synchronization point. A tracker that supports this
+// exposes a shard-ingest handle (see the shard_ingest() hooks in
+// protocol.h); sim::ParallelCluster drives it with the following contract:
+//
+//   ShardEpochBegin(m)   once per epoch, from the driver thread, with the
+//                        number of arrivals the epoch will deliver;
+//   ShardArriveRun(...)  concurrently, AT MOST ONE THREAD PER SITE, each
+//                        call covering that site's arrivals of the epoch
+//                        in stream order. The tracker may touch only that
+//                        site's state plus per-site scratch; anything
+//                        destined for the coordinator (reports, sampled
+//                        elements, summaries, traffic charges) is buffered
+//                        in per-site sinks;
+//   ShardEpochEnd()      once, from the driver thread, after all runs of
+//                        the epoch returned: the buffered messages are
+//                        applied to coordinator state in global arrival
+//                        order, exactly as the serial path would have.
+//
+// Epoch boundaries are chosen by the driver so that every coordinator ->
+// site event (a CoarseTracker broadcast: p-halving, round advance) falls
+// ON a boundary: the triggering arrival itself is delivered between
+// epochs through the plain serial Arrive() path. Within an epoch the
+// round parameters every site reads (p, thresholds) are therefore frozen,
+// sites consume their private RNG streams at exactly the per-site arrival
+// offsets of the serial execution, and the replay is deterministic given
+// the seed — independent of the thread count and bit-identical to the
+// serial drivers (pinned by tests/parallel_cluster_test.cc).
+//
+// Estimates may only be read between epochs (after ShardEpochEnd).
+
+#ifndef DISTTRACK_SIM_SHARD_H_
+#define DISTTRACK_SIM_SHARD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace disttrack {
+namespace sim {
+
+/// Shard ingest for count trackers: arrivals carry no key, so a site's
+/// epoch slice is just an arrival count.
+class CountShardIngest {
+ public:
+  virtual ~CountShardIngest() = default;
+  virtual void ShardEpochBegin(uint64_t arrivals_in_epoch) = 0;
+  /// Delivers `count` arrivals at `site` (the site's whole epoch slice).
+  /// Concurrent across sites; at most one thread touches a given site.
+  virtual void ShardArriveRun(int site, uint64_t count) = 0;
+  virtual void ShardEpochEnd() = 0;
+};
+
+/// Shard ingest for keyed trackers (frequency items / rank values).
+/// `keys[i]` is the i-th element the site receives in the epoch, in
+/// stream order; `global_index[i]` is its position in the full recorded
+/// workload (used to re-serialize buffered coordinator messages — an
+/// implementation that buffers only order-insensitive aggregates may
+/// ignore it).
+class KeyedShardIngest {
+ public:
+  virtual ~KeyedShardIngest() = default;
+  virtual void ShardEpochBegin(uint64_t arrivals_in_epoch) = 0;
+  virtual void ShardArriveRun(int site, const uint64_t* keys,
+                              const uint32_t* global_index,
+                              size_t count) = 0;
+  virtual void ShardEpochEnd() = 0;
+  /// False when the implementation buffers only order-insensitive
+  /// aggregates and never reads `global_index` — the driver then skips
+  /// materializing the per-site index arrays and passes nullptr.
+  virtual bool wants_global_indices() const { return true; }
+};
+
+}  // namespace sim
+}  // namespace disttrack
+
+#endif  // DISTTRACK_SIM_SHARD_H_

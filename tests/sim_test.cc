@@ -125,7 +125,8 @@ TEST(SpaceGaugeTest, MergeFromSums) {
 // A toy exact count tracker for replay-driver tests.
 class ExactCountTracker : public CountTrackerInterface {
  public:
-  ExactCountTracker() : meter_(1), space_(1) {}
+  explicit ExactCountTracker(int num_sites = 1)
+      : meter_(num_sites), space_(num_sites) {}
   void Arrive(int /*site*/) override { ++n_; }
   double EstimateCount() const override { return static_cast<double>(n_); }
   uint64_t TrueCount() const override { return n_; }
@@ -156,7 +157,8 @@ TEST(ReplayTest, CountCheckpointsAreGeometricAndEndAtN) {
 // Toy exact frequency and rank trackers.
 class ExactFrequencyTracker : public FrequencyTrackerInterface {
  public:
-  ExactFrequencyTracker() : meter_(1), space_(1) {}
+  explicit ExactFrequencyTracker(int num_sites = 1)
+      : meter_(num_sites), space_(num_sites) {}
   void Arrive(int /*site*/, uint64_t item) override {
     ++n_;
     ++freq_[item];
@@ -190,7 +192,8 @@ TEST(ReplayTest, FrequencyTruthTracksQueryItem) {
 
 class ExactRankTracker : public RankTrackerInterface {
  public:
-  ExactRankTracker() : meter_(1), space_(1) {}
+  explicit ExactRankTracker(int num_sites = 1)
+      : meter_(num_sites), space_(num_sites) {}
   void Arrive(int /*site*/, uint64_t value) override {
     ++n_;
     values_.push_back(value);
@@ -251,7 +254,7 @@ TEST(ReplayTest, BatchedScheduleMatchesHistoricalPerArrivalSchedule) {
 TEST(ArriveBatchTest, DefaultImplementationDeliversEveryElementInOrder) {
   // A tracker that only overrides Arrive() must still see each batched
   // arrival exactly once via the interface's default ArriveBatch.
-  ExactFrequencyTracker tracker;
+  ExactFrequencyTracker tracker(3);
   Workload w;
   for (uint64_t i = 0; i < 57; ++i) {
     w.push_back({static_cast<int>(i % 3), i % 5});
@@ -270,7 +273,7 @@ TEST(ArriveBatchTest, DefaultArriveSitesDeliversEveryElement) {
 }
 
 TEST(ReplayTest, SiteStreamReplayMatchesWorkloadReplay) {
-  ExactCountTracker a, b;
+  ExactCountTracker a(4), b(4);
   Workload w;
   SiteStream sites;
   for (uint64_t i = 0; i < 300; ++i) {
