@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "disttrack/core/tracking.h"
+#include "disttrack/frequency/randomized_frequency.h"
 #include "disttrack/sim/cluster.h"
 #include "disttrack/sim/parallel_cluster.h"
 #include "disttrack/stream/workload.h"
@@ -127,14 +128,29 @@ BenchEntry TimeConfig(const std::string& problem, const std::string& path,
 }
 
 core::TrackerOptions Options(int k, double eps, bool skip,
-                             bool shared_ladder = true) {
+                             bool shared_ladder = true,
+                             bool site_grouping = true) {
   core::TrackerOptions opt;
   opt.num_sites = k;
   opt.epsilon = eps;
   opt.seed = 20260728;
   opt.use_skip_sampling = skip;
   opt.use_shared_ladder = shared_ladder;
+  opt.use_site_grouping = site_grouping;
   return opt;
+}
+
+// The frequency tracker's grouped engine is opt-in through its own
+// options (core::TrackerOptions leaves it off; see tracking.h), so the
+// grouped_batched frequency row constructs the tracker directly.
+std::unique_ptr<sim::FrequencyTrackerInterface> MakeFrequencyGrouped(
+    int k, double eps) {
+  frequency::RandomizedFrequencyOptions o;
+  o.num_sites = k;
+  o.epsilon = eps;
+  o.seed = 20260728;
+  o.use_site_grouping = true;
+  return std::make_unique<frequency::RandomizedFrequencyTracker>(o);
 }
 
 std::unique_ptr<sim::CountTrackerInterface> MakeCount(
@@ -286,11 +302,14 @@ std::vector<BaselineEntry> ReadBaseline(const char* json_path) {
   return out;
 }
 
-// Returns the number of configurations that regressed >20% vs `baseline`
-// (and -1-like failure when nothing was comparable, which would make the
-// gate vacuous).
+// Returns nonzero when the gate fails: a configuration regressed >20%,
+// nothing was comparable (a vacuous gate), or a baseline row disappeared
+// from the run entirely (a silently-dropped path would otherwise shrink
+// the gate one row at a time). `summary_path`, when set, receives a
+// markdown per-problem ratio table (CI pipes $GITHUB_STEP_SUMMARY here).
 int CheckAgainstBaseline(const std::vector<BenchEntry>& entries,
-                         const char* baseline_path) {
+                         const char* baseline_path,
+                         const char* summary_path) {
   std::vector<BaselineEntry> baseline = ReadBaseline(baseline_path);
   if (baseline.empty()) {
     std::fprintf(stderr, "--check: no entries parsed from %s\n",
@@ -350,6 +369,28 @@ int CheckAgainstBaseline(const std::vector<BenchEntry>& entries,
                  baseline_path);
     return 1;
   }
+  // Every baseline row must still be measured by this run: a path that
+  // silently vanishes from the bench would otherwise drop out of the
+  // gate without anyone noticing.
+  int missing = 0;
+  for (const BaselineEntry& b : baseline) {
+    bool found = false;
+    for (const BenchEntry& e : entries) {
+      if (e.problem == b.problem && e.path == b.path &&
+          e.workload == b.workload && e.k == b.k &&
+          e.n == static_cast<uint64_t>(b.n)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr,
+                   "--check: baseline row %s/%s/%s/k=%d/n=%llu was not "
+                   "measured by this run — a path disappeared\n",
+                   b.problem, b.path, b.workload, b.k, b.n);
+      ++missing;
+    }
+  }
   std::printf("\n--- throughput vs baseline (%s) ---\n", baseline_path);
   std::printf("%-10s %5s %10s %10s  %s\n", "problem", "rows", "min", "max",
               "slowest row");
@@ -358,15 +399,52 @@ int CheckAgainstBaseline(const std::vector<BenchEntry>& entries,
     std::printf("%-10s %5d %9.2fx %9.2fx  %s\n", roll.name, roll.rows,
                 roll.min_ratio, roll.max_ratio, roll.min_config.c_str());
   }
-  if (failures > 0) {
+  if (summary_path != nullptr) {
+    std::FILE* f = std::fopen(summary_path, "a");
+    if (f != nullptr) {
+      std::fprintf(f, "### Throughput vs committed baseline\n\n");
+      std::fprintf(f, "| problem | rows | min | max | slowest row |\n");
+      std::fprintf(f, "|---|---|---|---|---|\n");
+      for (const ProblemRoll& roll : rolls) {
+        if (roll.rows == 0) continue;
+        std::fprintf(f, "| %s | %d | %.2fx | %.2fx | `%s` |\n", roll.name,
+                     roll.rows, roll.min_ratio, roll.max_ratio,
+                     roll.min_config.c_str());
+      }
+      std::fprintf(f, "\n%d row(s) compared, %d regression(s), %d missing "
+                   "baseline row(s).\n",
+                   compared, failures, missing);
+      // Grouped-vs-countdown A/B of this very run, per configuration.
+      std::fprintf(f,
+                   "\n### grouped_batched vs skip_batched (this run)\n\n"
+                   "| problem | workload | k | grouped | skip | ratio |\n"
+                   "|---|---|---|---|---|---|\n");
+      for (const BenchEntry& g : entries) {
+        if (g.path != "grouped_batched") continue;
+        for (const BenchEntry& b : entries) {
+          if (b.path == "skip_batched" && b.problem == g.problem &&
+              b.workload == g.workload && b.k == g.k && b.n == g.n) {
+            std::fprintf(f, "| %s | %s | %d | %.0f | %.0f | %.2fx |\n",
+                         g.problem.c_str(), g.workload.c_str(), g.k,
+                         g.elements_per_sec, b.elements_per_sec,
+                         b.elements_per_sec > 0
+                             ? g.elements_per_sec / b.elements_per_sec
+                             : 0.0);
+          }
+        }
+      }
+      std::fclose(f);
+    }
+  }
+  if (failures > 0 || missing > 0) {
     std::fprintf(stderr,
-                 "--check: %d configuration(s) regressed more than %.0f%% "
-                 "vs %s\n",
-                 failures, kCheckTolerance * 100, baseline_path);
+                 "--check: %d configuration(s) regressed more than %.0f%%, "
+                 "%d baseline row(s) missing, vs %s\n",
+                 failures, kCheckTolerance * 100, missing, baseline_path);
     return 1;
   }
   std::printf("check PASSED: %d row(s) compared, none regressed more than "
-              "%.0f%%\n",
+              "%.0f%%, no baseline rows missing\n",
               compared, kCheckTolerance * 100);
   return 0;
 }
@@ -395,11 +473,19 @@ int main(int argc, char** argv) {
           std::pair(stream::SiteSchedule::kSkewedGeometric, "skewed_sites")}) {
       sim::SiteStream sites = stream::MakeCountSites(k, n_count, sched, 7);
       double per_arrival_secs = 0;
-      for (bool skip : {false, true}) {
+      struct CountPath {
+        const char* name;
+        bool skip;
+        bool grouped;
+      };
+      for (const CountPath& path :
+           {CountPath{"per_arrival", false, false},
+            CountPath{"skip_batched", true, false},
+            CountPath{"grouped_batched", true, true}}) {
+        bool skip = path.skip;
         BenchEntry e = TimeConfig(
-            "count", skip ? "skip_batched" : "per_arrival", sched_name, k,
-            n_count, eps, reps,
-            [&] { return MakeCount(Options(k, eps, skip)); },
+            "count", path.name, sched_name, k, n_count, eps, reps,
+            [&] { return MakeCount(Options(k, eps, skip, true, path.grouped)); },
             [&](sim::CountTrackerInterface* t) {
               double t0 = Now();
               auto checkpoints =
@@ -414,8 +500,10 @@ int main(int argc, char** argv) {
               return std::pair<double, double>(secs, rel);
             });
         PrintEntry(e);
-        if (!skip) per_arrival_secs = e.seconds;
-        else if (std::strcmp(sched_name, "uniform") == 0) {
+        if (!skip) {
+          per_arrival_secs = e.seconds;
+        } else if (std::strcmp(path.name, "skip_batched") == 0 &&
+                   std::strcmp(sched_name, "uniform") == 0) {
           count_speedups.emplace_back(k, per_arrival_secs / e.seconds);
         }
         entries.push_back(e);
@@ -452,11 +540,22 @@ int main(int argc, char** argv) {
           k, n_freq, stream::SiteSchedule::kUniformRandom, universe, alpha,
           11);
       uint64_t truth = stream::ExactFrequency(w, 0);
-      for (bool skip : {false, true}) {
+      struct FreqPath {
+        const char* name;
+        bool skip;
+        bool grouped;
+      };
+      for (const FreqPath& path :
+           {FreqPath{"per_arrival", false, false},
+            FreqPath{"skip_batched", true, false},
+            FreqPath{"grouped_batched", true, true}}) {
+        bool skip = path.skip;
         BenchEntry e = TimeConfig(
-            "frequency", skip ? "skip_batched" : "per_arrival", dist_name, k,
-            n_freq, eps, reps,
-            [&] { return MakeFrequency(Options(k, eps, skip)); },
+            "frequency", path.name, dist_name, k, n_freq, eps, reps,
+            [&]() -> std::unique_ptr<sim::FrequencyTrackerInterface> {
+              if (path.grouped) return MakeFrequencyGrouped(k, eps);
+              return MakeFrequency(Options(k, eps, skip));
+            },
             [&](sim::FrequencyTrackerInterface* t) {
               double secs = DeliverTimed(
                   t, w, skip,
@@ -517,16 +616,19 @@ int main(int argc, char** argv) {
         const char* name;
         bool skip;
         bool shared_ladder;
+        bool grouped;
       };
       double staged_secs = 0;
       for (const RankPath& path :
-           {RankPath{"per_arrival", false, true},
-            RankPath{"staged_batched", true, false},
-            RankPath{"skip_batched", true, true}}) {
+           {RankPath{"per_arrival", false, true, false},
+            RankPath{"staged_batched", true, false, false},
+            RankPath{"skip_batched", true, true, false},
+            RankPath{"grouped_batched", true, true, true}}) {
         BenchEntry e = TimeConfig(
             "rank", path.name, dist_name, k, n_rank, eps, reps,
             [&] {
-              return MakeRank(Options(k, eps, path.skip, path.shared_ladder));
+              return MakeRank(Options(k, eps, path.skip, path.shared_ladder,
+                                      path.grouped));
             },
             [&](sim::RankTrackerInterface* t) {
               double secs = DeliverTimed(
@@ -589,7 +691,8 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %s\n", json_path);
   if (const char* baseline = StringFlagOr(argc, argv, "--check", nullptr)) {
-    return CheckAgainstBaseline(entries, baseline);
+    const char* summary = StringFlagOr(argc, argv, "--summary", nullptr);
+    return CheckAgainstBaseline(entries, baseline, summary);
   }
   return 0;
 }

@@ -89,6 +89,7 @@ Status MakeOneCount(Algorithm algorithm, const TrackerOptions& options,
       o.confidence_factor = ConfidenceOr(options, kDefaultCountConfidence);
       o.naive_boundary_estimator = options.naive_boundary_estimator;
       o.use_skip_sampling = options.use_skip_sampling;
+      o.use_site_grouping = options.use_site_grouping;
       if (Status s = o.Validate(); !s.ok()) return s;
       *out = std::make_unique<count::RandomizedCountTracker>(o);
       return Status::OK();
@@ -130,6 +131,12 @@ Status MakeOneFrequency(Algorithm algorithm, const TrackerOptions& options,
       o.virtual_site_split = options.virtual_site_split;
       o.use_skip_sampling = options.use_skip_sampling;
       o.use_flat_counters = options.use_flat_counters;
+      // use_site_grouping is deliberately NOT plumbed here: the grouped
+      // frequency engine is bit-identical but measured slower at the
+      // cache-resident table sizes the umbrella configurations produce
+      // (see frequency::RandomizedFrequencyOptions::use_site_grouping);
+      // reach it through the frequency-specific options when the
+      // deployment's per-site tables outgrow the cache.
       if (Status s = o.Validate(); !s.ok()) return s;
       *out = std::make_unique<frequency::RandomizedFrequencyTracker>(o);
       return Status::OK();
@@ -170,6 +177,7 @@ Status MakeOneRank(Algorithm algorithm, const TrackerOptions& options,
       o.use_skip_sampling = options.use_skip_sampling;
       o.use_batch_compaction = options.use_batch_compaction;
       o.use_shared_ladder = options.use_shared_ladder;
+      o.use_site_grouping = options.use_site_grouping;
       if (Status s = o.Validate(); !s.ok()) return s;
       *out = std::make_unique<rank::RandomizedRankTracker>(o);
       return Status::OK();

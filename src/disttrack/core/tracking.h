@@ -82,6 +82,22 @@ struct TrackerOptions {
   /// for A/B benchmarking.
   bool use_shared_ladder = true;
 
+  /// When true (default) the randomized count and rank trackers' batch
+  /// delivery paths permute each chunk into site-contiguous spans
+  /// whenever the chunk provably contains no coarse broadcast (see
+  /// CoarseTracker::BatchCannotBroadcast) and feed whole per-site spans —
+  /// cache-resident per-site state, span-level event gaps. Per-site coin
+  /// streams and event positions are unchanged, so every estimate,
+  /// communication word, round, and split count is bit-identical to the
+  /// event-countdown engines (pinned by tests/batch_equivalence_test.cc);
+  /// chunks that may broadcast fall back to those engines. False keeps
+  /// the countdown engines everywhere (A/B benchmarking). The frequency
+  /// tracker's grouped engine exists too but is opt-in through
+  /// frequency::RandomizedFrequencyOptions — at the per-site table sizes
+  /// these options produce it measures slightly slower than its
+  /// countdown engine (documented there), so the umbrella leaves it off.
+  bool use_site_grouping = true;
+
   Status Validate() const;
 };
 

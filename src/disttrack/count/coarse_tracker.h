@@ -53,6 +53,50 @@ class CoarseTracker {
     return s.next_report - s.count;
   }
 
+  /// True iff a batch delivering `histogram[i]` arrivals to site i cannot
+  /// trigger a broadcast — under ANY interleaving of the sites. This is
+  /// the safety gate of the site-grouped delivery engines
+  /// (common/site_group.h), and it is EXACT for carry-free batches:
+  ///
+  /// A site's reports fire at fixed local counts (the power-of-two
+  /// doubling thresholds), so the set of reports the batch produces — and
+  /// each report's n' delta — depends only on the per-site totals, never
+  /// on the interleaving. The batch's final n' is therefore computable up
+  /// front: each crossing site's last report value is the largest power
+  /// of two <= count_i + h_i. A broadcast needs n' >= max(1, 2 n̄) at
+  /// some report; n' is nondecreasing and only moves at reports, so the
+  /// batch broadcasts iff the final n' reaches the threshold.
+  ///
+  /// `carry[i]`, when non-null, counts arrivals already delivered to
+  /// site i but not yet advanced through this tracker (the rank engine
+  /// buffers eventless runs across chunk boundaries); they may be fed
+  /// during the batch, so a site receiving new arrivals is projected
+  /// over histogram[i] + carry[i]. A site with histogram[i] == 0 is not
+  /// touched by the batch at all — its carry stays unfed and is ignored.
+  /// With carry the test is an upper bound (the batch may end before
+  /// feeding everything), which can only cause a harmless fallback.
+  bool BatchCannotBroadcast(const uint32_t* histogram,
+                            const uint64_t* carry = nullptr) const {
+    uint64_t projected = n_prime_;
+    uint64_t limit = 2 * n_bar_ > 1 ? 2 * n_bar_ : 1;
+    for (size_t i = 0; i < local_.size(); ++i) {
+      uint64_t h = histogram[i];
+      if (h == 0) continue;
+      if (carry != nullptr) h += carry[i];
+      const SiteState& s = local_[i];
+      uint64_t final_count = s.count + h;
+      if (final_count >= s.next_report) {
+        // Largest doubling threshold reached: floor-power-of-two of the
+        // final count (thresholds are 1, 2, 4, ...; counts move by 1).
+        uint64_t last_report =
+            uint64_t{1} << (63 - __builtin_clzll(final_count));
+        projected += last_report - s.last_reported;
+        if (projected >= limit) return false;
+      }
+    }
+    return projected < limit;
+  }
+
   // --- Sharded-replay (epoch) support ------------------------------------
   // During shard ingest a worker thread owns a site and may advance only
   // its site-local half (count / report thresholds); the coordinator half

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "disttrack/common/math_util.h"
 
@@ -88,7 +91,18 @@ void RandomizedFrequencyTracker::FoldRound() {
   for (size_t i = 0; i < live_used_; ++i) {
     ItemAgg& agg = live_arena_[i];
     double est = LiveEstimate(agg);
-    if (est != 0.0) frozen_[agg.item] += est;
+    if (est != 0.0) {
+      if (uint64_t* slot = frozen_.Find(agg.item)) {
+        double acc;
+        std::memcpy(&acc, slot, sizeof(acc));
+        acc += est;
+        std::memcpy(slot, &acc, sizeof(acc));
+      } else {
+        uint64_t bits;
+        std::memcpy(&bits, &est, sizeof(bits));
+        frozen_.Insert(agg.item, bits);
+      }
+    }
     agg.instances.clear();  // recycle the arena entry's allocation
   }
   live_used_ = 0;
@@ -110,6 +124,16 @@ void RandomizedFrequencyTracker::ClearCounters(SiteState* s) {
 
 void RandomizedFrequencyTracker::OnBroadcast(uint64_t /*round*/,
                                              uint64_t n_bar) {
+  if (grouped_chunk_active_) {
+    // CoarseTracker::BatchCannotBroadcast certified this chunk; a
+    // broadcast here means grouped processing already reordered arrivals
+    // across it — abort instead of silently diverging from the serial
+    // coin streams.
+    std::fprintf(stderr,
+                 "RandomizedFrequencyTracker: broadcast inside a grouped "
+                 "chunk — the broadcast-safety bound is wrong\n");
+    std::abort();
+  }
   // Mid-batch, the outstanding eventless arrivals belong to the closing
   // round: flush them into the authoritative per-site state before the
   // round ritual discards it.
@@ -147,7 +171,12 @@ void RandomizedFrequencyTracker::UpdateSpace(int site) {
 }
 
 // Serial coordinator port: effects apply in place, exactly the historical
-// inline behavior (including a coarse broadcast firing mid-arrival).
+// inline behavior (including a coarse broadcast firing mid-arrival). Also
+// the grouped-chunk port: inside a certified broadcast-free chunk every
+// direct effect is order-insensitive across sites — coarse reports and
+// traffic fold into commutative sums, and the ItemAgg instance lists are
+// canonically ordered (see ForInstance), so site-grouped application
+// reproduces the serial coordinator state bit for bit.
 struct RandomizedFrequencyTracker::DirectPort {
   RandomizedFrequencyTracker* t;
   void CoarseArrive(int site) { t->coarse_->Arrive(site); }
@@ -167,31 +196,29 @@ struct RandomizedFrequencyTracker::DirectPort {
   }
 };
 
-// Shard coordinator port: every effect becomes a message stamped with the
-// arrival's global index, applied by ShardEpochEnd in stream order. The
-// epoch schedule guarantees no broadcast can fire inside a run, so the
-// deferred coarse report carries only its n' delta.
+// Shard coordinator port: every effect becomes a message in the site's
+// sink, applied by ShardEpochEnd with per-site order preserved (cross-
+// site order is immaterial; see DirectPort). The epoch schedule
+// guarantees no broadcast can fire inside a run, so the deferred coarse
+// report carries only its n' delta.
 struct RandomizedFrequencyTracker::ShardPort {
   RandomizedFrequencyTracker* t;
   std::vector<ShardMsg>* sink;
-  uint32_t index = 0;
   void CoarseArrive(int site) {
     if (uint64_t delta = t->coarse_->ArriveLocal(site)) {
-      sink->push_back(
-          ShardMsg{index, ShardMsg::kCoarseReport, site, 0, 0, delta});
+      sink->push_back(ShardMsg{ShardMsg::kCoarseReport, site, 0, 0, delta});
     }
   }
   void SplitNotify(int site) {
-    sink->push_back(ShardMsg{index, ShardMsg::kSplit, site, 0, 0, 0});
+    sink->push_back(ShardMsg{ShardMsg::kSplit, site, 0, 0, 0});
   }
   void CounterReport(int site, uint64_t item, uint64_t instance,
                      uint64_t value) {
     sink->push_back(
-        ShardMsg{index, ShardMsg::kCounterReport, site, item, instance, value});
+        ShardMsg{ShardMsg::kCounterReport, site, item, instance, value});
   }
   void SampleForward(int site, uint64_t item, uint64_t instance) {
-    sink->push_back(
-        ShardMsg{index, ShardMsg::kSample, site, item, instance, 0});
+    sink->push_back(ShardMsg{ShardMsg::kSample, site, item, instance, 0});
   }
 };
 
@@ -284,34 +311,35 @@ void RandomizedFrequencyTracker::Arrive(int site, uint64_t item) {
   ArriveOne(site, item);
 }
 
-void RandomizedFrequencyTracker::ShardEpochBegin(uint64_t arrivals_in_epoch) {
+void RandomizedFrequencyTracker::EnsureSinks() {
   if (shard_sinks_.empty()) {
     shard_sinks_.resize(static_cast<size_t>(options_.num_sites));
   }
+}
+
+void RandomizedFrequencyTracker::ShardEpochBegin(uint64_t arrivals_in_epoch) {
+  EnsureSinks();
   // Nothing inside a shard epoch reads n_ (mirrors the batch engines).
   n_ += arrivals_in_epoch;
 }
 
-// One site's epoch slice on a worker thread: the per-site projection of
-// the serial event-countdown engine. Eventless arrivals pay the tracked-
-// counter increment inline and retire in bulk (exactly SyncEventless);
-// each event arrival replays the scalar ProcessArrival logic with
-// coordinator effects deferred through the ShardPort.
-void RandomizedFrequencyTracker::ShardArriveRun(int site,
-                                                const uint64_t* keys,
-                                                const uint32_t* global_index,
-                                                size_t count) {
+// One site's span: the per-site projection of the serial event-countdown
+// engine. Eventless arrivals pay one batched tracked-counter walk and
+// retire in bulk (exactly SyncEventless); each event arrival replays the
+// scalar ProcessArrival logic with coordinator effects routed through
+// `port`.
+template <typename Port>
+void RandomizedFrequencyTracker::RunSiteSpan(int site, const uint64_t* keys,
+                                             size_t count, Port& port) {
   SiteState& s = sites_[static_cast<size_t>(site)];
-  ShardPort port{this, &shard_sinks_[static_cast<size_t>(site)], 0};
   size_t pos = 0;
   while (pos < count) {
     uint64_t gap = NextEventGap(site);
     uint64_t eventless =
         std::min<uint64_t>(gap - 1, static_cast<uint64_t>(count - pos));
     if (eventless > 0) {
-      for (uint64_t j = 0; j < eventless; ++j) {
-        s.counters.IncrementIfTracked(keys[pos + j]);
-      }
+      s.counters.IncrementTrackedRun(keys + pos,
+                                     static_cast<size_t>(eventless));
       s.round_arrivals += eventless;
       s.counter_skip.ConsumeFailures(eventless);
       s.sample_skip.ConsumeFailures(eventless);
@@ -319,67 +347,54 @@ void RandomizedFrequencyTracker::ShardArriveRun(int site,
       pos += static_cast<size_t>(eventless);
     }
     if (pos >= count) break;
-    port.index = global_index[pos];
     ProcessArrivalImpl(site, keys[pos], port);
     ++pos;
   }
 }
 
-void RandomizedFrequencyTracker::ShardEpochEnd() {
-  // Merge the per-site sinks into one stream-ordered message sequence.
-  // Each sink is already ascending in global index (messages are
-  // generated in stream order per site), and messages of one arrival all
-  // come from one site, so merging the sorted sinks — rather than
-  // re-sorting the concatenation — reproduces the serial coordinator
-  // schedule exactly. The spans are merged pairwise in a balanced
-  // tournament (log k rounds over the concatenation), i.e. O(M log k).
-  shard_merge_.clear();
-  auto by_index = [](const ShardMsg& a, const ShardMsg& b) {
-    return a.index < b.index;
-  };
-  std::vector<size_t> span_ends;
+// One site's epoch slice on a worker thread; see RunSiteSpan.
+void RandomizedFrequencyTracker::ShardArriveRun(int site,
+                                                const uint64_t* keys,
+                                                const uint32_t* /*global_index*/,
+                                                size_t count) {
+  ShardPort port{this, &shard_sinks_[static_cast<size_t>(site)]};
+  RunSiteSpan(site, keys, count, port);
+}
+
+void RandomizedFrequencyTracker::ShardEpochEnd() { FoldSinkMessages(); }
+
+void RandomizedFrequencyTracker::FoldSinkMessages() {
+  // Apply each site's sink in site order, preserving per-site message
+  // order. Cross-site order is immaterial: coarse deltas, split counts,
+  // and traffic fold into commutative sums, and the per-item instance
+  // lists are canonically ordered (ForInstance), so no global-index
+  // merge is needed to reproduce the serial coordinator state bit for
+  // bit.
   for (auto& sink : shard_sinks_) {
-    if (sink.empty()) continue;
-    shard_merge_.insert(shard_merge_.end(), sink.begin(), sink.end());
-    sink.clear();
-    span_ends.push_back(shard_merge_.size());
-  }
-  while (span_ends.size() > 1) {
-    std::vector<size_t> next_ends;
-    size_t begin = 0;
-    for (size_t i = 0; i + 1 < span_ends.size(); i += 2) {
-      std::inplace_merge(shard_merge_.begin() + begin,
-                         shard_merge_.begin() + span_ends[i],
-                         shard_merge_.begin() + span_ends[i + 1], by_index);
-      next_ends.push_back(span_ends[i + 1]);
-      begin = span_ends[i + 1];
-    }
-    if (span_ends.size() % 2 == 1) next_ends.push_back(span_ends.back());
-    span_ends = std::move(next_ends);
-  }
-  for (const ShardMsg& m : shard_merge_) {
-    int site = static_cast<int>(m.site);
-    switch (m.kind) {
-      case ShardMsg::kCoarseReport:
-        coarse_->ApplyDeferredReport(site, m.value);
-        break;
-      case ShardMsg::kSplit:
-        meter_.RecordUpload(site, 1);
-        ++splits_;
-        break;
-      case ShardMsg::kCounterReport:
-        meter_.RecordUpload(site, 2);
-        LiveAgg(m.item).ForInstance(m.instance).cbar = m.value;
-        break;
-      case ShardMsg::kSample: {
-        meter_.RecordUpload(site, 1);
-        InstanceAgg& agg = LiveAgg(m.item).ForInstance(m.instance);
-        if (agg.cbar == 0) agg.d += 1;
-        break;
+    for (const ShardMsg& m : sink) {
+      int site = static_cast<int>(m.site);
+      switch (m.kind) {
+        case ShardMsg::kCoarseReport:
+          coarse_->ApplyDeferredReport(site, m.value);
+          break;
+        case ShardMsg::kSplit:
+          meter_.RecordUpload(site, 1);
+          ++splits_;
+          break;
+        case ShardMsg::kCounterReport:
+          meter_.RecordUpload(site, 2);
+          LiveAgg(m.item).ForInstance(m.instance).cbar = m.value;
+          break;
+        case ShardMsg::kSample: {
+          InstanceAgg& agg = LiveAgg(m.item).ForInstance(m.instance);
+          meter_.RecordUpload(site, 1);
+          if (agg.cbar == 0) agg.d += 1;
+          break;
+        }
       }
     }
+    sink.clear();
   }
-  shard_merge_.clear();
 }
 
 uint64_t RandomizedFrequencyTracker::NextEventGap(int site) const {
@@ -485,17 +500,47 @@ void RandomizedFrequencyTracker::ArriveBatch(const sim::Arrival* arrivals,
     }
     return;
   }
-  if (options_.use_flat_counters) {
-    RunBatch<true>(arrivals, count);
-  } else {
+  if (!options_.use_flat_counters) {
     RunBatch<false>(arrivals, count);
+    return;
+  }
+  if (!options_.use_site_grouping) {
+    RunBatch<true>(arrivals, count);
+    return;
+  }
+  // Site-grouped delivery: a chunk certified broadcast-free is permuted
+  // into site-contiguous spans, each walked against its site's counter
+  // table in one cache-resident pass, with coordinator effects applied
+  // directly — order-insensitive across sites inside such a chunk thanks
+  // to the canonical ItemAgg instance order (see DirectPort), so the
+  // grouped path stays bit-identical without buffering a single message.
+  // Chunks that may broadcast run through the countdown engine unchanged.
+  size_t pos = 0;
+  while (pos < count) {
+    size_t len = std::min(kSiteGroupChunk, count - pos);
+    grouper_.ScatterBySite(arrivals + pos, len, options_.num_sites);
+    if (coarse_->BatchCannotBroadcast(grouper_.histogram())) {
+      n_ += len;
+      grouped_chunk_active_ = true;
+      DirectPort port{this};
+      for (const SiteGrouper::Span& span : grouper_.spans()) {
+        RunSiteSpan(span.site, span.data, span.length, port);
+      }
+      grouped_chunk_active_ = false;
+    } else {
+      RunBatch<true>(arrivals + pos, len);
+    }
+    pos += len;
   }
 }
 
 double RandomizedFrequencyTracker::EstimateFrequency(uint64_t item) const {
   double est = 0;
-  auto fit = frozen_.find(item);
-  if (fit != frozen_.end()) est += fit->second;
+  if (const uint64_t* slot = frozen_.Find(item)) {
+    double acc;
+    std::memcpy(&acc, slot, sizeof(acc));
+    est += acc;
+  }
   if (const ItemAgg* agg = FindLiveAgg(item)) est += LiveEstimate(*agg);
   return est;
 }

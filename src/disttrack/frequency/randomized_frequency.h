@@ -43,6 +43,7 @@
 
 #include "disttrack/common/event_countdown.h"
 #include "disttrack/common/random.h"
+#include "disttrack/common/site_group.h"
 #include "disttrack/common/skip_sampler.h"
 #include "disttrack/common/status.h"
 #include "disttrack/count/coarse_tracker.h"
@@ -82,6 +83,25 @@ struct RandomizedFrequencyOptions {
   /// randomness, so the choice never changes estimates.
   bool use_flat_counters = true;
 
+  /// When true (requires the two fast paths above), ArriveBatch permutes
+  /// each chunk into site-contiguous spans whenever the chunk provably
+  /// contains no coarse broadcast and walks each span against that
+  /// site's counter table in one batched pass (table invariants hoisted,
+  /// four-lane probe pipelining, key-run dedup); coordinator effects
+  /// apply directly (the canonical ItemAgg instance order makes
+  /// cross-site application order immaterial), so estimates,
+  /// communication, rounds, and splits are bit-identical to the
+  /// event-countdown engine — which remains the fallback for chunks that
+  /// may broadcast.
+  ///
+  /// Default FALSE, unlike count and rank: on the reference container
+  /// the per-site tables the split threshold allows are small enough to
+  /// be cache-resident even interleaved, so the scatter pass buys no
+  /// probe locality and costs ~5-10% net (the grouped_batched bench rows
+  /// record the A/B). The engine is bit-identical and fully tested; flip
+  /// it on for deployments whose per-site tables outgrow the cache.
+  bool use_site_grouping = false;
+
   Status Validate() const;
 };
 
@@ -102,10 +122,12 @@ class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface,
   /// Sharded replay (sim/shard.h): site workers run counters, splits, and
   /// both coin channels site-locally; every coordinator effect (coarse
   /// reports, split notices, counter re-reports, sampled copies) is
-  /// buffered as a message stamped with its global arrival index, and the
-  /// epoch barrier replays the merged message sequence in stream order —
-  /// so the coordinator's aggregation state evolves bit-identically to
-  /// the serial execution.
+  /// buffered per site and folded at the epoch barrier. Per-site message
+  /// order is preserved, and cross-site order cannot matter: coarse
+  /// reports and traffic are commutative sums, and the per-item instance
+  /// lists are canonically ordered (see ItemAgg::ForInstance) — so the
+  /// coordinator's aggregation state evolves bit-identically to the
+  /// serial execution without global-index bookkeeping.
   sim::KeyedShardIngest* shard_ingest() override {
     return options_.use_skip_sampling && options_.use_flat_counters ? this
                                                                     : nullptr;
@@ -149,14 +171,35 @@ class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface,
   };
   struct ItemAgg {
     uint64_t item = 0;
+    // Kept sorted by instance id. Instance ids are site-minted
+    // ((site << 32) | per-site sequence), so the sorted order is a pure
+    // function of the instance SET — the order coordinator messages
+    // arrive in (stream order, site-grouped order, shard-barrier order)
+    // can no longer influence the estimator's floating-point summation
+    // order. That canonical order is what lets the grouped engine apply
+    // counter reports and samples directly instead of re-serializing
+    // them by global arrival index (cbar and d stay exact per instance
+    // because all of an instance's messages come from its own site, in
+    // that site's stream order).
     std::vector<InstanceAgg> instances;
 
     InstanceAgg& ForInstance(uint64_t instance) {
-      for (InstanceAgg& agg : instances) {
-        if (agg.instance == instance) return agg;
+      size_t lo = 0;
+      size_t hi = instances.size();
+      while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (instances[mid].instance < instance) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
       }
-      instances.push_back(InstanceAgg{instance, 0, 0});
-      return instances.back();
+      if (lo < instances.size() && instances[lo].instance == instance) {
+        return instances[lo];
+      }
+      instances.insert(instances.begin() + static_cast<long>(lo),
+                       InstanceAgg{instance, 0, 0});
+      return instances[lo];
     }
   };
 
@@ -191,9 +234,15 @@ class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface,
   void ShardArriveRun(int site, const uint64_t* keys,
                       const uint32_t* global_index, size_t count) override;
   void ShardEpochEnd() override;
+  // Cross-site application order is immaterial (canonical instance
+  // order; commutative sums elsewhere), so the driver need not
+  // materialize per-site global-index arrays.
+  bool wants_global_indices() const override { return false; }
 
-  // One deferred coordinator message; `index` is the global arrival index
-  // it was produced at, the barrier's serialization key.
+  // One deferred coordinator message (shard ingest only; grouped chunks
+  // apply effects directly). No serialization key is needed: per-site
+  // order is preserved by the sinks themselves, and cross-site order is
+  // immaterial (commutative sums + the canonical instance order).
   struct ShardMsg {
     enum Kind : uint8_t {
       kCoarseReport,   // value = deferred n' delta
@@ -201,7 +250,6 @@ class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface,
       kCounterReport,  // item/instance, value = fresh counter value
       kSample,         // item/instance, one sampled copy (d channel)
     };
-    uint32_t index = 0;
     Kind kind = kCoarseReport;
     int32_t site = 0;  // full site id (num_sites is only bounded below)
     uint64_t item = 0;
@@ -211,7 +259,18 @@ class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface,
   struct DirectPort;
   struct ShardPort;
   std::vector<std::vector<ShardMsg>> shard_sinks_;  // one sink per site
-  std::vector<ShardMsg> shard_merge_;               // barrier scratch
+
+  // The per-site span loop shared by shard ingest and grouped delivery:
+  // eventless stretches pay one batched table walk and retire in bulk;
+  // each event arrival replays ProcessArrivalImpl through `port`.
+  template <typename Port>
+  void RunSiteSpan(int site, const uint64_t* keys, size_t count, Port& port);
+  // Applies the per-site message sinks — the coordinator half of a
+  // shard-epoch barrier (the only caller: grouped chunks buffer nothing
+  // and apply effects directly through DirectPort). Per-site order is
+  // preserved; cross-site order cannot matter (see ShardMsg).
+  void FoldSinkMessages();
+  void EnsureSinks();
 
   // Batched fast path on the shared EventCountdown engine; see
   // common/event_countdown.h for the reconciliation contract.
@@ -238,7 +297,12 @@ class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface,
   CounterTable live_index_;
   std::vector<ItemAgg> live_arena_;
   size_t live_used_ = 0;
-  std::unordered_map<uint64_t, double> frozen_;  // completed rounds
+  // Completed rounds: item -> Σ round estimates, a flat CounterTable with
+  // the double accumulator bit-cast into the uint64 payload (the table
+  // never interprets values). Folding a round touches every live item
+  // once, so the map op is the fold's hot instruction — the flat probe
+  // replaced an unordered_map node walk.
+  CounterTable frozen_;
 
   uint64_t inv_p_ = 1;
   int log2_inv_p_ = 0;            // log2(inv_p_), the skip samplers' argument
@@ -248,6 +312,10 @@ class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface,
 
   EventCountdown countdown_;
   bool in_batch_ = false;
+  // Site-grouped delivery scratch + the broadcast-inside-grouped-chunk
+  // abort guard (see OnBroadcast).
+  SiteGrouper grouper_;
+  bool grouped_chunk_active_ = false;
 };
 
 }  // namespace frequency

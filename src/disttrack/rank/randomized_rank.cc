@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 
 #include "disttrack/common/math_util.h"
+#include "disttrack/common/small_sort.h"
 
 namespace disttrack {
 namespace rank {
@@ -78,6 +81,9 @@ void RandomizedRankTracker::StartFreshInstance(SiteState* s) {
   s->current_leaf = 0;
   s->nodes_ready = false;
   s->pull_slack = 0;
+  // Any armed leaf seed dies with the instance — exactly as a discarded
+  // level-0 node (whose creation had consumed the same draw) would.
+  s->leaf_seed_armed = false;
   size_t levels = static_cast<size_t>(height_) + 1;
   if (s->pool.size() != levels) {
     // The round's tree shape changed, and with it LevelEps and every
@@ -115,11 +121,20 @@ void RandomizedRankTracker::StartFreshInstance(SiteState* s) {
 }
 
 void RandomizedRankTracker::OnBroadcast(uint64_t /*round*/, uint64_t n_bar) {
+  if (grouped_chunk_active_) {
+    // CoarseTracker::BatchCannotBroadcast certified this chunk; a
+    // broadcast here means site-grouped processing already reordered
+    // arrivals across it, so the replay silently diverged — abort loudly.
+    std::fprintf(stderr,
+                 "RandomizedRankTracker: broadcast inside a grouped chunk "
+                 "— the broadcast-safety bound is wrong\n");
+    std::abort();
+  }
   // Mid-batch, every site's buffered eventless run belongs to the closing
   // round: feed it into the current nodes (which the restart below then
   // discards, exactly as the scalar path discards mid-leaf state — those
   // arrivals stay covered by the frozen residual samples).
-  if (in_batch_) ResyncAllMidBatch();
+  if (in_batch_) FlushBufferedRuns();
   // Completed leaves of the closing round are already covered by shipped
   // summaries, and the in-progress tails stay covered by their frozen
   // residual samples; sites just restart with fresh parameters.
@@ -172,8 +187,52 @@ void RandomizedRankTracker::FlushNode(int site, SiteState* s, int level,
                                       uint32_t node_start,
                                       uint32_t end_leaf) {
   s->nodes_ready = false;
+  if (level == 0 && options_.use_shared_ladder &&
+      options_.use_batch_compaction) {
+    // Node-less leaf flush: cascade the leaf window straight from the
+    // borrowed ladder views into the wire buffer with the armed seed's
+    // coins — no node ingest, no Reset, no pool churn. Identical stored
+    // content, serialized words, and RNG stream as the node-based flush.
+    size_t total = s->ladder.Pull(0, &s->view_scratch);
+    s->leaf_seed_armed = false;  // consumed (or dropped) with this leaf
+    if (total == 0) return;
+    StoredSummary stored = TakeStored(s);
+    stored.first_leaf = node_start;
+    stored.end_leaf = end_leaf;
+    uint64_t words = summaries::CompactSortedViewsToWire(
+        LevelEps(0), s->leaf_seed, s->view_scratch.data(),
+        s->view_scratch.size(), total, &s->leaf_scratch, &stored.values,
+        &stored.segments);
+    Upload(site, words);
+    s->idata->summaries.push_back(std::move(stored));
+    return;
+  }
   auto& node = s->nodes[static_cast<size_t>(level)];
   if (node == nullptr) return;
+  if (options_.use_shared_ladder) {
+    // Drain the node's remaining ladder window and export in one fused
+    // step: a final sub-threshold window merges straight from the
+    // borrowed ladder storage into the wire buffer, never materializing
+    // in the node (which is pooled and Reset() right after). Same stored
+    // content and serialized words as pull-then-export, one to two full
+    // copies cheaper per flush.
+    size_t total =
+        s->ladder.Pull(static_cast<size_t>(level), &s->view_scratch);
+    if (node->m() == 0 && total == 0) {
+      s->pool[static_cast<size_t>(level)].push_back(std::move(node));
+      return;
+    }
+    StoredSummary stored = TakeStored(s);
+    stored.first_leaf = node_start;
+    stored.end_leaf = end_leaf;
+    uint64_t words = node->InsertViewsAndExport(
+        s->view_scratch.data(), s->view_scratch.size(), total,
+        &stored.values, &stored.segments);
+    Upload(site, words);
+    s->idata->summaries.push_back(std::move(stored));
+    s->pool[static_cast<size_t>(level)].push_back(std::move(node));
+    return;
+  }
   if (node->m() == 0) {
     s->pool[static_cast<size_t>(level)].push_back(std::move(node));
     return;
@@ -204,6 +263,16 @@ void RandomizedRankTracker::UpdateSpace(int site) {
 void RandomizedRankTracker::EnsureNodes(SiteState* s) {
   if (s->nodes_ready) return;
   for (int level = 0; level <= height_; ++level) {
+    if (level == 0 && options_.use_batch_compaction) {
+      // Node-less leaf flush: draw the seed at exactly the site-RNG
+      // position node creation used to draw it; the direct leaf export
+      // consumes it.
+      if (!s->leaf_seed_armed) {
+        s->leaf_seed = s->rng.NextU64();
+        s->leaf_seed_armed = true;
+      }
+      continue;
+    }
     auto& node = s->nodes[static_cast<size_t>(level)];
     if (node == nullptr) node = AcquireNode(s, level);
   }
@@ -237,10 +306,20 @@ void RandomizedRankTracker::PumpLevels(SiteState* s, uint64_t appended) {
   // consolidated run. The top level still pulls at its own capacity, so
   // the ladder's footprint stays at the one window it already buffers.
   const bool lazy = options_.use_batch_compaction;
+  // Under the lazy feed, level 0 has no node and no pump cadence: its
+  // quantum equals the leaf length, so its pulls land exactly on leaf
+  // boundaries, where FlushNode drains the window itself (the node-less
+  // direct export). Skipping it here also lifts pull_slack from <= one
+  // leaf to the level-1 quantum, halving the scans.
+  const int first_level = lazy ? 1 : 0;
+  if (first_level > height_) {
+    s->pull_slack = ~uint64_t{0};
+    return;
+  }
   const uint64_t top_capacity =
       s->nodes[static_cast<size_t>(height_)]->buffer_capacity();
   uint64_t slack = ~uint64_t{0};
-  for (int level = 0; level <= height_; ++level) {
+  for (int level = first_level; level <= height_; ++level) {
     uint64_t pending = s->ladder.pending(static_cast<size_t>(level));
     auto& node = s->nodes[static_cast<size_t>(level)];
     uint64_t capacity = node->buffer_capacity();
@@ -265,13 +344,6 @@ void RandomizedRankTracker::PumpLevels(SiteState* s, uint64_t appended) {
     slack = std::min(slack, threshold - pending);
   }
   s->pull_slack = slack;
-}
-
-void RandomizedRankTracker::PullInto(SiteState* s, int level) {
-  size_t total = s->ladder.Pull(static_cast<size_t>(level), &s->view_scratch);
-  if (total == 0) return;
-  s->nodes[static_cast<size_t>(level)]->InsertSortedViews(
-      s->view_scratch.data(), s->view_scratch.size(), total);
 }
 
 inline void RandomizedRankTracker::ProcessArrival(int site, uint64_t value) {
@@ -368,9 +440,9 @@ inline void RandomizedRankTracker::ProcessArrival(int site, uint64_t value) {
             s.nodes_ready = false;
           }
         } else {
-          // The window-closing arrival was appended above, so draining
-          // the cursor hands the node exactly its leaf range.
-          if (options_.use_shared_ladder) PullInto(&s, level);
+          // The window-closing arrival was appended above, so the
+          // cursor drain fused into FlushNode hands the node exactly its
+          // leaf range.
           FlushNode(site, &s, level, node_start, completed_end);
         }
       }
@@ -490,7 +562,11 @@ uint64_t RandomizedRankTracker::NextEventGap(int site) const {
 }
 
 void RandomizedRankTracker::RearmSite(int site) {
-  countdown_.Arm(site, NextEventGap(site));
+  // The site's run buffer may already hold eventless arrivals carried
+  // over from a grouped chunk of the same batch; they count against the
+  // gap (the authoritative counters advance only when the run is fed).
+  countdown_.Arm(site, NextEventGap(site) -
+                           sites_[static_cast<size_t>(site)].run.size());
 }
 
 void RandomizedRankTracker::RearmAll() {
@@ -535,8 +611,9 @@ void RandomizedRankTracker::FeedRun(int site, std::vector<uint64_t>* run,
   // the run is then also copied and consolidated once, and each level
   // pulls borrowed views of the merged sequence at its own compaction
   // cadence; the staging path instead hands every level its own copy to
-  // re-merge.
-  std::sort(values, values + count);
+  // re-merge. Short runs (large k, dense events) go through the
+  // branch-light small-run sorter; the sorted result is identical.
+  SortRun(values, static_cast<size_t>(count));
   if (options_.use_shared_ladder) {
     EnsureNodes(&s);
     // Callers hand over exactly the run (the event arrival was popped),
@@ -563,30 +640,74 @@ void RandomizedRankTracker::FeedRun(int site, std::vector<uint64_t>* run,
   }
 }
 
-void RandomizedRankTracker::ResyncAllMidBatch() {
+void RandomizedRankTracker::FlushBufferedRuns() {
   for (int i = 0; i < options_.num_sites; ++i) {
-    uint64_t consumed = countdown_.Outstanding(i);
-    countdown_.Reconcile(i);
     SiteState& s = sites_[static_cast<size_t>(i)];
-    FeedRun(i, &s.run, consumed);
+    FeedRun(i, &s.run, s.run.size());
     s.run.clear();
   }
 }
 
-// The countdown for `site` hit zero: its run buffer holds the stride's
-// eventless prefix plus the event arrival's value. Feed the prefix in
+// The countdown for `site` hit zero: its run buffer holds the buffered
+// eventless arrivals (possibly carried over from earlier chunks of the
+// batch) plus the event arrival's value. Feed the eventless prefix in
 // bulk, clear the buffer (a broadcast fired by the event arrival must see
 // nothing outstanding here), then process the event arrival exactly as
 // the scalar path would.
 void RandomizedRankTracker::HandleEventArrival(int site) {
-  uint64_t prefix = countdown_.TakeEventPrefix(site);
+  countdown_.TakeEventPrefix(site);
   SiteState& s = sites_[static_cast<size_t>(site)];
   uint64_t event_value = s.run.back();
   s.run.pop_back();  // the buffer now holds exactly the eventless prefix
-  FeedRun(site, &s.run, prefix);
+  FeedRun(site, &s.run, s.run.size());
   s.run.clear();
   ProcessArrival(site, event_value);
   RearmSite(site);
+}
+
+void RandomizedRankTracker::CountdownChunk(const sim::Arrival* arrivals,
+                                           size_t count) {
+  // Event-countdown engine: an eventless arrival costs one decrement plus
+  // one buffered value. Buffered runs carry across chunk boundaries; the
+  // batch-end flush reconciles them.
+  in_batch_ = true;
+  RearmAll();
+  uint32_t* until = countdown_.until();
+  for (size_t i = 0; i < count; ++i) {
+    int site = arrivals[i].site;
+    sim::CheckSiteInRange(site, options_.num_sites);
+    sites_[static_cast<size_t>(site)].run.push_back(arrivals[i].key);
+    if (--until[site] == 0) HandleEventArrival(site);
+  }
+  in_batch_ = false;
+}
+
+// One site's span of a certified broadcast-free chunk. Mirrors the
+// countdown engine's per-site projection exactly: eventless arrivals
+// accumulate in the site's run buffer (fed at the next event or the
+// batch-end flush — the same boundaries the countdown engine feeds at,
+// so the ladder/compaction schedule and the site's RNG consumption are
+// identical), and each event arrival replays the scalar path.
+void RandomizedRankTracker::GroupedSpan(int site, const uint64_t* keys,
+                                        size_t count) {
+  SiteState& s = sites_[static_cast<size_t>(site)];
+  size_t pos = 0;
+  while (pos < count) {
+    // Arrivals until the site's next event, net of what is already
+    // buffered (the authoritative counters advance only at feed time).
+    uint64_t to_event = NextEventGap(site) - s.run.size();
+    uint64_t avail = count - pos;
+    if (avail < to_event) {
+      s.run.insert(s.run.end(), keys + pos, keys + pos + avail);
+      return;
+    }
+    s.run.insert(s.run.end(), keys + pos, keys + pos + (to_event - 1));
+    pos += static_cast<size_t>(to_event);
+    uint64_t event_value = keys[pos - 1];
+    FeedRun(site, &s.run, s.run.size());
+    s.run.clear();
+    ProcessArrival(site, event_value);
+  }
 }
 
 void RandomizedRankTracker::ArriveBatch(const sim::Arrival* arrivals,
@@ -600,21 +721,43 @@ void RandomizedRankTracker::ArriveBatch(const sim::Arrival* arrivals,
     }
     return;
   }
-  // Event-countdown engine: an eventless arrival costs one decrement plus
-  // one buffered value. n_ is advanced up front; nothing inside the batch
-  // reads it.
+  // n_ is advanced up front; nothing inside the batch reads it.
   n_ += count;
-  in_batch_ = true;
-  RearmAll();
-  uint32_t* until = countdown_.until();
-  for (size_t i = 0; i < count; ++i) {
-    int site = arrivals[i].site;
-    sim::CheckSiteInRange(site, options_.num_sites);
-    sites_[static_cast<size_t>(site)].run.push_back(arrivals[i].key);
-    if (--until[site] == 0) HandleEventArrival(site);
+  if (!options_.use_site_grouping) {
+    CountdownChunk(arrivals, count);
+    FlushBufferedRuns();
+    return;
   }
-  ResyncAllMidBatch();
-  in_batch_ = false;
+  // Site-grouped delivery: chunks certified broadcast-free are permuted
+  // into site-contiguous spans and fed span-at-a-time (cache-resident
+  // per-site state); chunks that may broadcast run through the countdown
+  // engine unchanged. Either way runs feed at the same boundaries, so
+  // the two engines interleave bit-identically.
+  size_t pos = 0;
+  while (pos < count) {
+    size_t len = std::min(kSiteGroupChunk, count - pos);
+    grouper_.ScatterBySite(arrivals + pos, len, options_.num_sites);
+    // Eventless runs buffered from earlier chunks of this batch have not
+    // advanced the coarse tracker yet; this chunk's events may feed them
+    // through it, so they count against the broadcast projection.
+    run_carry_.resize(static_cast<size_t>(options_.num_sites));
+    for (int i = 0; i < options_.num_sites; ++i) {
+      run_carry_[static_cast<size_t>(i)] =
+          sites_[static_cast<size_t>(i)].run.size();
+    }
+    if (coarse_->BatchCannotBroadcast(grouper_.histogram(),
+                                      run_carry_.data())) {
+      grouped_chunk_active_ = true;
+      for (const SiteGrouper::Span& span : grouper_.spans()) {
+        GroupedSpan(span.site, span.data, span.length);
+      }
+      grouped_chunk_active_ = false;
+    } else {
+      CountdownChunk(arrivals + pos, len);
+    }
+    pos += len;
+  }
+  FlushBufferedRuns();
 }
 
 double RandomizedRankTracker::SummaryRankBelow(const StoredSummary& summary,

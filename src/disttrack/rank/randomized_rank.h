@@ -48,6 +48,7 @@
 
 #include "disttrack/common/event_countdown.h"
 #include "disttrack/common/random.h"
+#include "disttrack/common/site_group.h"
 #include "disttrack/common/skip_sampler.h"
 #include "disttrack/common/status.h"
 #include "disttrack/count/coarse_tracker.h"
@@ -95,6 +96,16 @@ struct RandomizedRankOptions {
   /// only the merge work is shared. False keeps the historical per-level
   /// staging for A/B runs.
   bool use_shared_ladder = true;
+
+  /// When true (default), ArriveBatch permutes each chunk into
+  /// site-contiguous spans (common/site_group.h) whenever the chunk
+  /// provably contains no coarse broadcast, and feeds whole spans per
+  /// site — same per-site coin streams, same event boundaries, so the
+  /// grouped path is bit-identical to the event-countdown path (pinned
+  /// by tests/batch_equivalence_test.cc). Chunks that may broadcast fall
+  /// back to the countdown engine. False keeps the countdown engine for
+  /// every chunk (A/B benchmarking).
+  bool use_site_grouping = true;
 
   Status Validate() const;
 };
@@ -206,6 +217,14 @@ class RandomizedRankTracker : public sim::RankTrackerInterface,
     // cleared whenever a node is flushed, dropped, or the instance
     // restarts.
     bool nodes_ready = false;
+    // Node-less leaf flush (batched feed + shared ladder): level 0 keeps
+    // no CompactorSummary at all — EnsureNodes draws the seed the node
+    // creation used to draw, at the same site-RNG position, and the
+    // flush cascades the leaf window straight from the ladder to the
+    // wire (summaries::CompactSortedViewsToWire) with those coins.
+    uint64_t leaf_seed = 0;
+    bool leaf_seed_armed = false;
+    std::vector<uint64_t> leaf_scratch;  // multi-view merge scratch
     // Lower bound on the appends until some level's next pull threshold;
     // PumpLevels skips its level scan while the bound stays positive.
     uint64_t pull_slack = 0;
@@ -232,17 +251,28 @@ class RandomizedRankTracker : public sim::RankTrackerInterface,
   // callers get back a recycled buffer either way).
   void FeedRun(int site, std::vector<uint64_t>* run, uint64_t count);
   void HandleEventArrival(int site);
-  void ResyncAllMidBatch();
+  // Feeds every site's buffered eventless run into the tree. Called when
+  // a mid-batch broadcast is about to restart the instances and at batch
+  // end — the two points where the per-element execution would also have
+  // everything reconciled.
+  void FlushBufferedRuns();
+  // One chunk through the event-countdown engine (buffered runs carry
+  // across chunk boundaries; the final flush happens at batch end).
+  void CountdownChunk(const sim::Arrival* arrivals, size_t count);
+  // One site's span of a broadcast-free grouped chunk: buffers eventless
+  // arrivals into the site's run (deferring the feed to the next event or
+  // the batch end, exactly like the countdown engine) and processes event
+  // arrivals through the scalar path.
+  void GroupedSpan(int site, const uint64_t* keys, size_t count);
   std::unique_ptr<summaries::CompactorSummary> AcquireNode(SiteState* s,
                                                            int level);
   // Shared-ladder plumbing. EnsureNodes creates any missing level node in
   // level order (same seed-draw order as the staging path's lazy
   // creation); PumpLevels pulls every level whose fill reached its
-  // compaction threshold; PullInto unconditionally drains a completing
-  // node's window before its flush.
+  // compaction threshold; FlushNode drains a completing node's remaining
+  // window itself (fused with the export).
   void EnsureNodes(SiteState* s);
   void PumpLevels(SiteState* s, uint64_t appended);
-  void PullInto(SiteState* s, int level);
   // StoredSummary buffer pool (per site): flushes run at leaf cadence,
   // so recycling the vectors the chunk-end prune discards keeps
   // allocation off the flush path.
@@ -297,6 +327,15 @@ class RandomizedRankTracker : public sim::RankTrackerInterface,
 
   EventCountdown countdown_;
   bool in_batch_ = false;
+  // Site-grouped delivery (use_site_grouping): pooled permutation scratch
+  // plus a guard that turns a broadcast inside a supposedly
+  // broadcast-free grouped chunk into a loud abort instead of a silent
+  // equivalence break.
+  SiteGrouper grouper_;
+  bool grouped_chunk_active_ = false;
+  // Per-site buffered-run sizes handed to the broadcast-safety check
+  // (scratch, refilled per chunk).
+  std::vector<uint64_t> run_carry_;
 };
 
 }  // namespace rank

@@ -137,6 +137,11 @@ struct ParallelCluster::Plan {
   std::vector<uint64_t> slice_start;
   std::vector<std::vector<ReportEvent>> slice_events;
   std::vector<std::pair<size_t, size_t>> stop_runs;
+  // Sliced-keyed-planner scratch (per-slice truth tallies and their
+  // prefix, plus each stop's checkpoint ordinal).
+  std::vector<uint64_t> slice_truth;
+  std::vector<uint64_t> slice_truth_start;
+  std::vector<int> stop_ckpt;
 
   void Reset(int k) {
     num_sites = k;
@@ -274,7 +279,7 @@ void ParallelCluster::BuildCountPlanSliced(SiteAt site_at, uint64_t total,
       CheckpointCounts(total, checkpoint_factor);
   plan->total = total;
   size_t k = static_cast<size_t>(num_sites);
-  int num_slices = std::max(1, threads_ * 8);
+  int num_slices = std::max(1, replay_threads_ * 8);
   uint64_t slice_len =
       std::max<uint64_t>(1, (total + num_slices - 1) / num_slices);
   num_slices = static_cast<int>((total + slice_len - 1) / slice_len);
@@ -420,16 +425,195 @@ void ParallelCluster::BuildKeyedPlan(const Workload& workload, int num_sites,
       });
 }
 
+// Sliced parallel keyed planner: the identical plan from parallel
+// passes — per-slice site histograms fused with the truth tally, a
+// parallel scatter into exactly-sized per-site shards, the same tiny
+// serial report-event walk as the count planner, and one partial scan
+// per stop-bearing slice resolving snapshots and checkpoint truth.
+// Removes the serial plan pass as the Amdahl bottleneck of keyed
+// replays, exactly as the sliced count planner did for count.
+template <bool kWantIndices, typename TruthTerm>
+void ParallelCluster::BuildKeyedPlanSliced(const Workload& workload,
+                                           int num_sites,
+                                           double checkpoint_factor,
+                                           TruthTerm truth_term, Plan* plan) {
+  uint64_t total = workload.size();
+  std::vector<uint64_t> checkpoints =
+      CheckpointCounts(total, checkpoint_factor);
+  plan->total = total;
+  size_t k = static_cast<size_t>(num_sites);
+  int num_slices = std::max(1, replay_threads_ * 8);
+  uint64_t slice_len =
+      std::max<uint64_t>(1, (total + num_slices - 1) / num_slices);
+  num_slices = static_cast<int>((total + slice_len - 1) / slice_len);
+  if (num_slices == 0) num_slices = 1;
+  auto slice_begin = [&](int j) {
+    return std::min(total, static_cast<uint64_t>(j) * slice_len);
+  };
+
+  // Pass A (parallel): per-slice site histograms + truth tallies, with
+  // validation.
+  std::vector<uint64_t>& hist = plan->slice_hist;
+  hist.assign(static_cast<size_t>(num_slices) * k, 0);
+  std::vector<uint64_t>& slice_truth = plan->slice_truth;
+  slice_truth.assign(static_cast<size_t>(num_slices), 0);
+  RunTasks(num_slices, [&](int j) {
+    uint64_t* h = hist.data() + static_cast<size_t>(j) * k;
+    uint64_t truth = 0;
+    uint64_t end = slice_begin(j + 1);
+    for (uint64_t i = slice_begin(j); i < end; ++i) {
+      const Arrival& a = workload[i];
+      CheckSiteInRange(a.site, num_sites);
+      ++h[static_cast<size_t>(a.site)];
+      truth += truth_term(a.key);
+    }
+    slice_truth[static_cast<size_t>(j)] = truth;
+  });
+  // Exclusive prefixes over slices: per-site starts, totals, truth.
+  std::vector<uint64_t>& start = plan->slice_start;
+  start.assign(static_cast<size_t>(num_slices) * k, 0);
+  for (int j = 1; j < num_slices; ++j) {
+    const uint64_t* prev_start = start.data() + static_cast<size_t>(j - 1) * k;
+    const uint64_t* prev_hist = hist.data() + static_cast<size_t>(j - 1) * k;
+    uint64_t* cur = start.data() + static_cast<size_t>(j) * k;
+    for (size_t s = 0; s < k; ++s) cur[s] = prev_start[s] + prev_hist[s];
+  }
+  for (size_t s = 0; s < k; ++s) {
+    size_t last = static_cast<size_t>(num_slices - 1) * k + s;
+    plan->site_total[s] = start[last] + hist[last];
+  }
+  std::vector<uint64_t>& truth_start = plan->slice_truth_start;
+  truth_start.assign(static_cast<size_t>(num_slices), 0);
+  for (int j = 1; j < num_slices; ++j) {
+    truth_start[static_cast<size_t>(j)] =
+        truth_start[static_cast<size_t>(j - 1)] +
+        slice_truth[static_cast<size_t>(j - 1)];
+  }
+  // Exactly-sized shards, so slice workers write disjoint ranges.
+  for (size_t s = 0; s < k; ++s) {
+    plan->site_keys[s].resize(plan->site_total[s]);
+    if (kWantIndices) plan->site_indices[s].resize(plan->site_total[s]);
+  }
+
+  // Pass B (parallel): scatter each slice into the shards at its running
+  // per-site offsets, and record the exact global position of every
+  // coarse report (each site's 2^j-th arrival).
+  using ReportEvent = Plan::ReportEvent;
+  std::vector<std::vector<ReportEvent>>& slice_events = plan->slice_events;
+  if (slice_events.size() < static_cast<size_t>(num_slices)) {
+    slice_events.resize(static_cast<size_t>(num_slices));
+  }
+  for (auto& v : slice_events) v.clear();
+  RunTasks(num_slices, [&](int j) {
+    std::vector<uint64_t> cnt(start.begin() + static_cast<size_t>(j) * k,
+                              start.begin() + static_cast<size_t>(j) * k + k);
+    std::vector<uint64_t> target(k);
+    for (size_t s = 0; s < k; ++s) target[s] = NextReportOrdinal(cnt[s]);
+    auto& events = slice_events[static_cast<size_t>(j)];
+    uint64_t end = slice_begin(j + 1);
+    for (uint64_t i = slice_begin(j); i < end; ++i) {
+      const Arrival& a = workload[i];
+      size_t s = static_cast<size_t>(a.site);
+      plan->site_keys[s][cnt[s]] = a.key;
+      if (kWantIndices) {
+        plan->site_indices[s][cnt[s]] = static_cast<uint32_t>(i);
+      }
+      if (++cnt[s] == target[s]) {
+        events.push_back(ReportEvent{i, cnt[s], static_cast<int>(s)});
+        target[s] *= 2;
+      }
+    }
+  });
+
+  // Serial walk of the report events: replicate the broadcast condition
+  // and merge in the checkpoint schedule (a checkpoint at count c samples
+  // before arrival c is delivered, so it precedes a broadcast whose
+  // arrival index equals c).
+  size_t next_checkpoint = 0;
+  uint64_t n_prime = 0;
+  uint64_t n_bar = 0;
+  auto flush_checkpoints_through = [&](uint64_t pos) {
+    while (next_checkpoint < checkpoints.size() &&
+           checkpoints[next_checkpoint] <= pos) {
+      plan->stops.push_back(Plan::Stop{checkpoints[next_checkpoint], -1});
+      ++next_checkpoint;
+    }
+  };
+  for (int j = 0; j < num_slices; ++j) {
+    for (const ReportEvent& ev : slice_events[static_cast<size_t>(j)]) {
+      uint64_t delta = CoarseReportDelta(ev.ordinal);
+      if (n_prime + delta >= std::max<uint64_t>(1, 2 * n_bar)) {
+        flush_checkpoints_through(ev.pos);
+        plan->stops.push_back(Plan::Stop{ev.pos, ev.site});
+        n_bar = n_prime + delta;
+      }
+      n_prime += delta;
+    }
+  }
+  flush_checkpoints_through(total);
+
+  // Pass C (parallel): group stops by containing slice; each stop-bearing
+  // slice is scanned once, resolving its stops' per-site snapshots and —
+  // for checkpoint stops — the truth prefix, in order.
+  std::vector<int>& stop_ckpt = plan->stop_ckpt;
+  stop_ckpt.assign(plan->stops.size(), -1);
+  int num_ckpt = 0;
+  for (size_t b = 0; b < plan->stops.size(); ++b) {
+    if (plan->stops[b].boundary_site < 0) stop_ckpt[b] = num_ckpt++;
+  }
+  plan->checkpoint_truth.assign(static_cast<size_t>(num_ckpt), 0.0);
+  plan->snapshots.assign(plan->stops.size() * k, 0);
+  std::vector<std::pair<size_t, size_t>>& runs = plan->stop_runs;
+  runs.clear();
+  auto slice_of = [&](uint64_t pos) {
+    return pos >= total ? num_slices - 1 : static_cast<int>(pos / slice_len);
+  };
+  for (size_t b = 0; b < plan->stops.size();) {
+    size_t e = b + 1;
+    while (e < plan->stops.size() &&
+           slice_of(plan->stops[e].pos) == slice_of(plan->stops[b].pos)) {
+      ++e;
+    }
+    runs.emplace_back(b, e);
+    b = e;
+  }
+  RunTasks(static_cast<int>(runs.size()), [&](int r) {
+    auto [b_begin, b_end] = runs[static_cast<size_t>(r)];
+    int j = slice_of(plan->stops[b_begin].pos);
+    std::vector<uint64_t> cnt(start.begin() + static_cast<size_t>(j) * k,
+                              start.begin() + static_cast<size_t>(j) * k + k);
+    uint64_t truth = truth_start[static_cast<size_t>(j)];
+    uint64_t i = slice_begin(j);
+    for (size_t b = b_begin; b < b_end; ++b) {
+      uint64_t pos = plan->stops[b].pos;
+      for (; i < pos; ++i) {
+        const Arrival& a = workload[i];
+        ++cnt[static_cast<size_t>(a.site)];
+        truth += truth_term(a.key);
+      }
+      std::copy(cnt.begin(), cnt.end(), plan->snapshots.begin() + b * k);
+      if (stop_ckpt[b] >= 0) {
+        plan->checkpoint_truth[static_cast<size_t>(stop_ckpt[b])] =
+            static_cast<double>(truth);
+      }
+    }
+  });
+}
+
 // ---------------------------------------------------------------- driver
 
 ParallelCluster::ParallelCluster(int threads)
-    : threads_(std::max(1, threads)) {}
+    : threads_(threads <= 0
+                   ? std::max(1u, std::thread::hardware_concurrency())
+                   : threads),
+      auto_threads_(threads <= 0),
+      replay_threads_(threads_) {}
 
 ParallelCluster::~ParallelCluster() = default;
 
 void ParallelCluster::RunTasks(int num_tasks,
                                const std::function<void(int)>& fn) {
-  if (threads_ == 1 || num_tasks <= 1) {
+  if (replay_threads_ == 1 || num_tasks <= 1) {
     for (int i = 0; i < num_tasks; ++i) fn(i);
     return;
   }
@@ -439,7 +623,7 @@ void ParallelCluster::RunTasks(int num_tasks,
 
 void ParallelCluster::RunEpochTasks(int num_tasks, uint64_t epoch_len,
                                     const std::function<void(int)>& fn) {
-  if (epoch_len < 2048 * static_cast<uint64_t>(threads_)) {
+  if (epoch_len < 2048 * static_cast<uint64_t>(replay_threads_)) {
     for (int i = 0; i < num_tasks; ++i) fn(i);
     return;
   }
@@ -553,9 +737,10 @@ std::vector<Checkpoint> ParallelCluster::ReplayCountSites(
   }
   last_replay_sharded_ = true;
   int num_sites = tracker->meter().num_sites();
+  replay_threads_ = auto_threads_ ? std::min(threads_, num_sites) : threads_;
   Plan* plan = PreparePlan(num_sites);
   auto site_at = [&](uint64_t i) { return static_cast<int>(sites[i]); };
-  if (threads_ > 1) {
+  if (replay_threads_ > 1) {
     BuildCountPlanSliced(site_at, sites.size(), num_sites, checkpoint_factor,
                          plan);
   } else {
@@ -575,9 +760,10 @@ std::vector<Checkpoint> ParallelCluster::ReplayCount(
   }
   last_replay_sharded_ = true;
   int num_sites = tracker->meter().num_sites();
+  replay_threads_ = auto_threads_ ? std::min(threads_, num_sites) : threads_;
   Plan* plan = PreparePlan(num_sites);
   auto site_at = [&](uint64_t i) { return workload[i].site; };
-  if (threads_ > 1) {
+  if (replay_threads_ > 1) {
     BuildCountPlanSliced(site_at, workload.size(), num_sites,
                          checkpoint_factor, plan);
   } else {
@@ -599,12 +785,21 @@ std::vector<Checkpoint> ParallelCluster::ReplayFrequency(
   last_replay_sharded_ = true;
   CheckShardableSize(workload.size());
   int num_sites = tracker->meter().num_sites();
+  replay_threads_ = auto_threads_ ? std::min(threads_, num_sites) : threads_;
   Plan* plan = PreparePlan(num_sites);
   bool want_indices = ingest->wants_global_indices();
   auto truth_term = [&](uint64_t key) {
     return key == query_item ? uint64_t{1} : uint64_t{0};
   };
-  if (want_indices) {
+  if (replay_threads_ > 1) {
+    if (want_indices) {
+      BuildKeyedPlanSliced<true>(workload, num_sites, checkpoint_factor,
+                                 truth_term, plan);
+    } else {
+      BuildKeyedPlanSliced<false>(workload, num_sites, checkpoint_factor,
+                                  truth_term, plan);
+    }
+  } else if (want_indices) {
     BuildKeyedPlan<true>(workload, num_sites, checkpoint_factor, truth_term,
                          plan);
   } else {
@@ -627,12 +822,21 @@ std::vector<Checkpoint> ParallelCluster::ReplayRank(
   last_replay_sharded_ = true;
   CheckShardableSize(workload.size());
   int num_sites = tracker->meter().num_sites();
+  replay_threads_ = auto_threads_ ? std::min(threads_, num_sites) : threads_;
   Plan* plan = PreparePlan(num_sites);
   bool want_indices = ingest->wants_global_indices();
   auto truth_term = [&](uint64_t key) {
     return key < query_value ? uint64_t{1} : uint64_t{0};
   };
-  if (want_indices) {
+  if (replay_threads_ > 1) {
+    if (want_indices) {
+      BuildKeyedPlanSliced<true>(workload, num_sites, checkpoint_factor,
+                                 truth_term, plan);
+    } else {
+      BuildKeyedPlanSliced<false>(workload, num_sites, checkpoint_factor,
+                                  truth_term, plan);
+    }
+  } else if (want_indices) {
     BuildKeyedPlan<true>(workload, num_sites, checkpoint_factor, truth_term,
                          plan);
   } else {

@@ -56,8 +56,16 @@ namespace sim {
 /// drive it from one thread.
 class ParallelCluster {
  public:
-  /// `threads` is clamped to >= 1. Workers are lazily started on the
-  /// first sharded replay.
+  /// Pass as `threads` to size the pool from the hardware. The heuristic:
+  /// threads = max(1, std::thread::hardware_concurrency()), further
+  /// clamped per replay to the tracker's site count — a site is the unit
+  /// of epoch parallelism (at most one thread may touch it), so workers
+  /// beyond k can never be scheduled, and the clamp also keeps the
+  /// sliced planners from over-slicing small-k replays.
+  static constexpr int kAutoThreads = 0;
+
+  /// `threads` <= 0 selects kAutoThreads; otherwise the exact worker
+  /// count. Workers are lazily started on the first sharded replay.
   explicit ParallelCluster(int threads);
   ~ParallelCluster();
 
@@ -133,13 +141,21 @@ class ParallelCluster {
   void BuildCountPlanSliced(SiteAt site_at, uint64_t total, int num_sites,
                             double checkpoint_factor, Plan* plan);
 
-  // Keyed planner: one fused coordinator walk that also scatters the
-  // per-site key (and optionally global-index) shards and the truth
-  // curve.
+  // Keyed planners: the single fused coordinator walk (one thread) and
+  // the sliced parallel variant — per-slice site/truth histograms, a
+  // parallel scatter into preallocated per-site shards, a tiny serial
+  // report-event walk, and one partial scan per stop-bearing slice for
+  // snapshots + checkpoint truth. Both produce the identical plan; the
+  // sliced one removes the serial plan pass as the Amdahl bottleneck of
+  // keyed replays, the same way the sliced count planner did for count.
   template <bool kWantIndices, typename TruthTerm>
   void BuildKeyedPlan(const Workload& workload, int num_sites,
                       double checkpoint_factor, TruthTerm truth_term,
                       Plan* plan);
+  template <bool kWantIndices, typename TruthTerm>
+  void BuildKeyedPlanSliced(const Workload& workload, int num_sites,
+                            double checkpoint_factor, TruthTerm truth_term,
+                            Plan* plan);
 
   // Plan executors, shared by the Replay* entry points: walk the stops,
   // dispatch each epoch's per-site slices to the shard handle, deliver
@@ -155,6 +171,12 @@ class ParallelCluster {
                                          EstimateFn estimate, Plan* plan);
 
   int threads_;
+  bool auto_threads_ = false;
+  // threads_ clamped to the current replay's site count under
+  // kAutoThreads (set at each Replay* entry); drives planner selection,
+  // slicing, and the inline-epoch threshold. The pool itself is sized
+  // once from threads_ — surplus workers simply find no tasks.
+  int replay_threads_ = 1;
   bool last_replay_sharded_ = false;
   std::unique_ptr<Pool> pool_;
   std::unique_ptr<Plan> plan_scratch_;

@@ -19,6 +19,32 @@ size_t CapacityFor(double eps) {
   return s;
 }
 
+// Element at sorted position `i` (0-based) of the stable merge of two
+// ascending arrays — the classic two-array selection: binary-search the
+// split point j (elements taken from A among the first i+1 of the merge),
+// O(log min(a, b)) per access. Equal values are interchangeable for a
+// value array, so tie placement cannot matter.
+inline uint64_t MergedAt(const uint64_t* A, size_t a, const uint64_t* B,
+                         size_t b, size_t i) {
+  size_t need = i + 1;
+  size_t lo = need > b ? need - b : 0;
+  size_t hi = need < a ? need : a;
+  while (lo < hi) {
+    size_t j = (lo + hi) / 2;
+    if (A[j] < B[need - j - 1]) {
+      lo = j + 1;
+    } else {
+      hi = j;
+    }
+  }
+  size_t j = lo;
+  if (j == 0) return B[need - 1];
+  if (need == j) return A[j - 1];
+  uint64_t va = A[j - 1];
+  uint64_t vb = B[need - j - 1];
+  return va > vb ? va : vb;
+}
+
 }  // namespace
 
 CompactorSummary::CompactorSummary(double eps, uint64_t seed)
@@ -67,38 +93,74 @@ void CompactorSummary::InsertSortedViews(const RunView* views,
                                          size_t num_views, size_t total) {
   if (total == 0) return;
   m_ += total;
-  // The common pull shape — one consolidated view landing on a bare
-  // straggler — is ingested without copying the view at all: the virtual
-  // cascade reads the borrowed storage (with the straggler spliced in by
-  // index arithmetic) and materializes only the survivors.
-  if (num_views == 1 && levels_[0].size() <= 1 &&
-      levels_[0].size() + total >= capacity_) {
-    const uint64_t* d = views[0].data;
-    size_t n = views[0].size;
-    bool continue_normal;
-    if (levels_[0].empty()) {
-      continue_normal =
-          CascadeVirtual([d](size_t i) { return d[i]; }, n);
-    } else {
-      uint64_t v = levels_[0][0];
-      size_t p = static_cast<size_t>(std::lower_bound(d, d + n, v) - d);
-      continue_normal = CascadeVirtual(
-          [d, p, v](size_t i) {
-            return i < p ? d[i] : (i == p ? v : d[i - 1]);
-          },
-          n + 1);
+  size_t base_size = levels_[0].size();
+  // Zero-copy ingest: whenever the window lands on a bare straggler and
+  // reaches the compaction threshold, cascade virtually instead of
+  // materializing it in the level-0 buffer. One view (the common
+  // consolidated pull) and selection-friendly view pairs are read
+  // straight from the borrowed ladder storage; other shapes pre-merge
+  // the views once into scratch and cascade over that — still a full
+  // pass cheaper than merge-into-base + cascade-from-base. The
+  // pre-merge is only legal while the descent stays virtual (a nonempty
+  // upper level would make CascadeVirtual merge through the same
+  // scratch), so that shape falls back to the base path.
+  if (base_size <= 1 && base_size + total >= capacity_) {
+    bool selection2 =
+        num_views == 2 && VirtualCascadeProfitable(base_size + total);
+    bool premerge = num_views >= 2 && !selection2 &&
+                    CascadeStaysVirtual(base_size + total);
+    if (num_views == 1 || selection2 || premerge) {
+      bool continue_normal;
+      if (num_views == 1 || premerge) {
+        const uint64_t* d;
+        if (premerge) {
+          view_merge_srcs_.clear();
+          for (size_t i = 0; i < num_views; ++i) {
+            if (views[i].size == 0) continue;
+            view_merge_srcs_.emplace_back(views[i].data, views[i].size);
+          }
+          d = MergeGatheredSrcs(total);
+        } else {
+          d = views[0].data;
+        }
+        if (base_size == 0) {
+          continue_normal =
+              CascadeVirtual([d](size_t i) { return d[i]; }, total);
+        } else {
+          uint64_t v = levels_[0][0];
+          size_t p =
+              static_cast<size_t>(std::lower_bound(d, d + total, v) - d);
+          continue_normal = CascadeVirtual(
+              [d, p, v](size_t i) {
+                return i < p ? d[i] : (i == p ? v : d[i - 1]);
+              },
+              total + 1);
+        }
+      } else {
+        const uint64_t* A = views[0].data;
+        size_t a = views[0].size;
+        const uint64_t* B = views[1].data;
+        size_t b = views[1].size;
+        if (base_size == 0) {
+          continue_normal = CascadeVirtual(
+              [A, a, B, b](size_t i) { return MergedAt(A, a, B, b, i); },
+              total);
+        } else {
+          uint64_t v = levels_[0][0];
+          size_t p =
+              static_cast<size_t>(std::lower_bound(A, A + a, v) - A) +
+              static_cast<size_t>(std::lower_bound(B, B + b, v) - B);
+          continue_normal = CascadeVirtual(
+              [A, a, B, b, p, v](size_t i) {
+                return i < p ? MergedAt(A, a, B, b, i)
+                             : (i == p ? v : MergedAt(A, a, B, b, i - 1));
+              },
+              total + 1);
+        }
+      }
+      FinishVirtualCascade(continue_normal);
+      return;
     }
-    // Re-index levels_[0] — CascadeVirtual may have grown the hierarchy.
-    auto& base = levels_[0];
-    base.clear();
-    for (const auto& [lvl, value] : straggler_scratch_) {
-      if (lvl == 0) base.push_back(value);
-    }
-    sorted_[0] = base.size();
-    seg_bounds_[0].clear();
-    seg_dirty_[0] = 0;
-    if (continue_normal) Cascade();
-    return;
   }
   // Merge views + residue directly into the consolidated buffer, whether
   // or not a compaction follows — a flush's final sub-threshold window is
@@ -107,6 +169,128 @@ void CompactorSummary::InsertSortedViews(const RunView* views,
   EnsureSorted(0);
   MergeViewsIntoBase(views, num_views, total);
   if (levels_[0].size() >= capacity_) CascadeSortedBase();
+}
+
+uint64_t CompactorSummary::InsertViewsAndExport(
+    const RunView* views, size_t num_views, size_t total,
+    std::vector<uint64_t>* values,
+    std::vector<std::pair<uint64_t, uint32_t>>* segments) {
+  values->clear();
+  segments->clear();
+  bool fused = false;
+  if (total > 0) {
+    if (levels_[0].size() + total >= capacity_) {
+      // Over-threshold window: the ordinary ingest (virtual cascade and
+      // friends) compacts it down; the export below then copies only the
+      // survivors.
+      InsertSortedViews(views, num_views, total);
+    } else {
+      // Sub-threshold final window: count it in and export level 0
+      // straight from residue + borrowed views below. levels_[0] itself
+      // never materializes the window — legal only because the caller
+      // retires the summary right after the flush (see the header).
+      m_ += total;
+      EnsureSorted(0);
+      fused = true;
+    }
+  }
+  size_t items = 0;
+  for (const auto& buf : levels_) items += buf.size();
+  if (fused) items += total;
+  values->reserve(items);
+  if (fused) {
+    auto& base = levels_[0];
+    size_t out_size = base.size() + total;
+    view_merge_srcs_.clear();
+    if (!base.empty()) {
+      view_merge_srcs_.emplace_back(base.data(), base.size());
+    }
+    for (size_t i = 0; i < num_views; ++i) {
+      if (views[i].size == 0) continue;
+      view_merge_srcs_.emplace_back(views[i].data, views[i].size);
+    }
+    values->resize(out_size);
+    size_t nsrc = view_merge_srcs_.size();
+    if (nsrc == 1) {
+      std::copy(view_merge_srcs_[0].first,
+                view_merge_srcs_[0].first + view_merge_srcs_[0].second,
+                values->begin());
+    } else if (nsrc == 2) {
+      // The common flush shape (residue + consolidated window): one
+      // merge pass straight into the wire buffer.
+      std::merge(view_merge_srcs_[0].first,
+                 view_merge_srcs_[0].first + view_merge_srcs_[0].second,
+                 view_merge_srcs_[1].first,
+                 view_merge_srcs_[1].first + view_merge_srcs_[1].second,
+                 values->begin());
+    } else {
+      const uint64_t* result = MergeGatheredSrcs(out_size);
+      std::copy(result, result + out_size, values->begin());
+    }
+    segments->emplace_back(1, static_cast<uint32_t>(values->size()));
+  } else if (!levels_[0].empty()) {
+    EnsureSorted(0);
+    values->insert(values->end(), levels_[0].begin(), levels_[0].end());
+    segments->emplace_back(1, static_cast<uint32_t>(values->size()));
+  }
+  size_t used = LevelsUsed();
+  for (size_t level = 1; level < used; ++level) {
+    if (levels_[level].empty()) continue;
+    EnsureSorted(level);
+    values->insert(values->end(), levels_[level].begin(),
+                   levels_[level].end());
+    segments->emplace_back(uint64_t{1} << level,
+                           static_cast<uint32_t>(values->size()));
+  }
+  // Identical to SerializedWords() after a separate ingest: one word per
+  // stored item plus one length header per level in use plus one.
+  return static_cast<uint64_t>(items) + used + 1;
+}
+
+bool CompactorSummary::VirtualCascadeProfitable(size_t len) const {
+  // Replay the descent's shape: survivors halve per virtualized level
+  // until the slice drops below capacity or a nonempty level stops the
+  // virtual phase with a gather. Each materialized element costs a
+  // log-time merge-path selection under the two-view accessor, while the
+  // copy path costs ~2 straight moves per input element — so the virtual
+  // route wins once the materialized count is a small fraction of len.
+  size_t level = 0;
+  size_t l = len;
+  size_t accessed = 0;
+  while (l >= capacity_) {
+    ++accessed;  // potential odd straggler at this virtual level
+    l = (l & ~size_t{1}) / 2;
+    ++level;
+    if (level < levels_.size() && !levels_[level].empty()) break;
+  }
+  accessed += l;  // final slice or promotion gather
+  return accessed * 8 <= len;
+}
+
+bool CompactorSummary::CascadeStaysVirtual(size_t len) const {
+  size_t level = 0;
+  size_t l = len;
+  while (l >= capacity_) {
+    l = (l & ~size_t{1}) / 2;
+    ++level;
+    if (level < levels_.size() && !levels_[level].empty()) return false;
+  }
+  return true;
+}
+
+void CompactorSummary::FinishVirtualCascade(bool continue_normal) {
+  // Re-derive levels_[0] from the recorded stragglers — CascadeVirtual
+  // may have grown the hierarchy, and the accessor read the old level-0
+  // content until the cascade finished.
+  auto& base = levels_[0];
+  base.clear();
+  for (const auto& [lvl, value] : straggler_scratch_) {
+    if (lvl == 0) base.push_back(value);
+  }
+  sorted_[0] = base.size();
+  seg_bounds_[0].clear();
+  seg_dirty_[0] = 0;
+  if (continue_normal) Cascade();
 }
 
 void CompactorSummary::CascadeSortedBase() {
@@ -214,7 +398,6 @@ void CompactorSummary::MergeViewsIntoBase(const RunView* views,
                                           size_t num_views, size_t total) {
   auto& base = levels_[0];
   size_t out_size = base.size() + total;
-  GrowScratch(out_size);
   // Sources: the consolidated base residue plus the borrowed views. The
   // first merge pass reads them in place; later passes ping-pong between
   // the two scratch buffers, so any view count costs one move per element
@@ -225,11 +408,20 @@ void CompactorSummary::MergeViewsIntoBase(const RunView* views,
     if (views[i].size == 0) continue;
     view_merge_srcs_.emplace_back(views[i].data, views[i].size);
   }
+  const uint64_t* result = MergeGatheredSrcs(out_size);
+  base.assign(result, result + out_size);
+  sorted_[0] = out_size;
+  seg_bounds_[0].clear();
+  seg_dirty_[0] = 0;
+}
+
+const uint64_t* CompactorSummary::MergeGatheredSrcs(size_t out_size) {
   size_t nsrc = view_merge_srcs_.size();
   const uint64_t* result = nullptr;
   if (nsrc == 1) {
     result = view_merge_srcs_[0].first;
   } else if (nsrc == 2) {
+    GrowScratch(out_size);
     std::merge(view_merge_srcs_[0].first,
                view_merge_srcs_[0].first + view_merge_srcs_[0].second,
                view_merge_srcs_[1].first,
@@ -237,6 +429,7 @@ void CompactorSummary::MergeViewsIntoBase(const RunView* views,
                merge_buf_.begin());
     result = merge_buf_.data();
   } else {
+    GrowScratch(out_size);
     // First pass: merge source pairs straight into merge_buf_, recording
     // the produced run bounds; then pairwise ping-pong with the second
     // scratch until one run remains.
@@ -283,10 +476,7 @@ void CompactorSummary::MergeViewsIntoBase(const RunView* views,
     }
     result = src;
   }
-  base.assign(result, result + out_size);
-  sorted_[0] = out_size;
-  seg_bounds_[0].clear();
-  seg_dirty_[0] = 0;
+  return result;
 }
 
 void CompactorSummary::Cascade() {
@@ -574,6 +764,108 @@ void CompactorSummary::Clear() {
   seg_bounds_.assign(1, {});
   seg_dirty_.assign(1, 0);
   m_ = 0;
+}
+
+namespace {
+
+// Merges `num_views` ascending views into *out (cleared first), using
+// *tmp as the ping buffer. View counts here are tiny (a ladder window
+// holds at most a handful of runs), so sequential merging is fine.
+void MergeViewsSimple(const RunView* views, size_t num_views,
+                      std::vector<uint64_t>* out, std::vector<uint64_t>* tmp) {
+  out->clear();
+  for (size_t i = 0; i < num_views; ++i) {
+    if (views[i].size == 0) continue;
+    if (out->empty()) {
+      out->assign(views[i].data, views[i].data + views[i].size);
+      continue;
+    }
+    tmp->resize(out->size() + views[i].size);
+    std::merge(out->begin(), out->end(), views[i].data,
+               views[i].data + views[i].size, tmp->begin());
+    std::swap(*out, *tmp);
+  }
+}
+
+}  // namespace
+
+uint64_t CompactSortedViewsToWire(
+    double eps, uint64_t seed, const RunView* views, size_t num_views,
+    size_t total, std::vector<uint64_t>* scratch,
+    std::vector<uint64_t>* values,
+    std::vector<std::pair<uint64_t, uint32_t>>* segments) {
+  values->clear();
+  segments->clear();
+  size_t capacity = CapacityFor(eps);
+  if (total < capacity) {
+    // Sub-capacity window: one weight-1 segment, no compaction coins —
+    // exactly the fused sub-threshold export of InsertViewsAndExport on
+    // a fresh summary.
+    MergeViewsSimple(views, num_views, values, scratch);
+    if (!values->empty()) {
+      segments->emplace_back(1, static_cast<uint32_t>(values->size()));
+    }
+    return static_cast<uint64_t>(total) + 2;
+  }
+  // The virtual cascade of a fresh summary: every upper level is empty,
+  // so the descent runs to the first sub-capacity slice, materializing
+  // one odd straggler per virtualized level. Same coins, same kept
+  // elements as CompactorSummary::CascadeVirtual.
+  const uint64_t* single = nullptr;
+  const uint64_t* A = nullptr;
+  const uint64_t* B = nullptr;
+  size_t a = 0;
+  size_t b = 0;
+  if (num_views == 1) {
+    single = views[0].data;
+  } else if (num_views == 2) {
+    A = views[0].data;
+    a = views[0].size;
+    B = views[1].data;
+    b = views[1].size;
+  } else {
+    MergeViewsSimple(views, num_views, scratch, values);
+    values->clear();
+    single = scratch->data();
+  }
+  auto get = [&](size_t i) {
+    return single != nullptr ? single[i] : MergedAt(A, a, B, b, i);
+  };
+  Rng rng(seed);
+  uint64_t straggler[64];
+  bool has_straggler[64] = {false};
+  size_t stride = 1;
+  size_t offset = 0;
+  size_t level = 0;
+  size_t len = total;
+  while (len >= capacity) {
+    size_t take = len & ~size_t{1};
+    bool coin = rng.Bernoulli(0.5);
+    if (len > take) {
+      straggler[level] = get(offset + (len - 1) * stride);
+      has_straggler[level] = true;
+    }
+    if (coin) offset += stride;
+    stride *= 2;
+    len = take / 2;
+    ++level;
+  }
+  // Emit ascending levels: stragglers below, the surviving slice at the
+  // stop level (which never carries a straggler).
+  for (size_t l = 0; l < level; ++l) {
+    if (!has_straggler[l]) continue;
+    values->push_back(straggler[l]);
+    segments->emplace_back(uint64_t{1} << l,
+                           static_cast<uint32_t>(values->size()));
+  }
+  for (size_t i = 0; i < len; ++i) {
+    values->push_back(get(offset + i * stride));
+  }
+  segments->emplace_back(uint64_t{1} << level,
+                         static_cast<uint32_t>(values->size()));
+  // One word per item plus a length header per level in use plus one —
+  // SerializedWords() of the equivalent post-ingest summary.
+  return static_cast<uint64_t>(values->size()) + (level + 1) + 1;
 }
 
 void CompactorSummary::Reset(uint64_t seed) {

@@ -91,6 +91,22 @@ class CompactorSummary {
   void InsertSortedViews(const RunView* views, size_t num_views,
                          size_t total);
 
+  /// InsertSortedViews immediately followed by an ExportLevels, fused for
+  /// the rank tracker's flush path (a completing node drains its ladder
+  /// window and ships at once). Two copies disappear: a sub-threshold
+  /// final window is merged with the level-0 residue straight into the
+  /// export array (never materialized in the summary), and an
+  /// over-threshold window goes through the usual zero-copy virtual
+  /// cascade before the plain export. Returns the serialized word count
+  /// of the post-ingest summary (identical to SerializedWords() after a
+  /// separate InsertSortedViews). The fused path can leave level 0
+  /// unmaterialized, so the summary MUST be Reset() or destroyed after
+  /// this call — exactly what the flush path's node pooling does.
+  uint64_t InsertViewsAndExport(
+      const RunView* views, size_t num_views, size_t total,
+      std::vector<uint64_t>* values,
+      std::vector<std::pair<uint64_t, uint32_t>>* segments);
+
   /// Unbiased estimate of |{y in stream : y < x}|; monotone in x.
   double EstimateRank(uint64_t x) const;
 
@@ -164,6 +180,11 @@ class CompactorSummary {
   // merge_buf_). Callers consolidated level 0 first.
   void MergeViewsIntoBase(const RunView* views, size_t num_views,
                           size_t total);
+  // Merges the gathered view_merge_srcs_ (ascending sources totalling
+  // out_size elements) and returns the merged sequence — a source
+  // pointer when only one is nonempty, merge scratch otherwise. Shared
+  // by MergeViewsIntoBase and the fused flush export.
+  const uint64_t* MergeGatheredSrcs(size_t out_size);
   // Grows merge_buf_ geometrically to at least `need` elements. The
   // scratch is write-before-read and never shrinks, so growth (and its
   // value-initialization pass) is amortized away instead of being paid on
@@ -188,6 +209,20 @@ class CompactorSummary {
   // Returns true when the caller must finish with the ordinary Cascade().
   template <class GetFn>
   bool CascadeVirtual(GetFn get, size_t len);
+  // Re-derives level 0 from straggler_scratch_ after a CascadeVirtual and
+  // finishes with the ordinary cascade when one was signalled.
+  void FinishVirtualCascade(bool continue_normal);
+  // True when ingesting a fully sorted logical sequence of `len` elements
+  // into level 0 would descend the virtual cascade far enough that
+  // random-access gathers (survivors + stragglers) beat a merge copy of
+  // the whole sequence — the gate of the two-view zero-copy ingest, where
+  // each access costs a binary-search merge-path selection.
+  bool VirtualCascadeProfitable(size_t len) const;
+  // True when ingesting `len` sorted level-0 elements would cascade all
+  // the way to an empty level — i.e. CascadeVirtual would never merge
+  // through the shared scratch buffers. Gates the pre-merged zero-copy
+  // ingest, whose source may live in that scratch.
+  bool CascadeStaysVirtual(size_t len) const;
   // Records the boundary of a tail append of `count` ascending values
   // starting at offset `old_size` of level `l` (extends the previous
   // segment when the order allows).
@@ -223,6 +258,24 @@ class CompactorSummary {
   // CascadeSortedBase scratch: (virtual level, value) odd stragglers.
   std::vector<std::pair<size_t, uint64_t>> straggler_scratch_;
 };
+
+/// Node-less leaf compaction — the rank tracker's level-0 flush path. A
+/// leaf node's whole life under the batched shared-ladder feed is
+/// "ingest one window, cascade once, export once, reset": this routine
+/// performs exactly that without ever materializing the CompactorSummary
+/// object. It cascades a fully sorted window (given as 1..n borrowed
+/// ascending views totalling `total` elements; `scratch` merges
+/// multi-view windows) with per-level capacity derived from `eps`
+/// straight into the wire format, drawing from a generator seeded with
+/// `seed` exactly the per-level coins a fresh CompactorSummary ingesting
+/// the same window would draw — so the shipped summary, its serialized
+/// word count (the return value), and the site RNG stream are
+/// bit-identical to the node-based flush it replaces.
+uint64_t CompactSortedViewsToWire(
+    double eps, uint64_t seed, const RunView* views, size_t num_views,
+    size_t total, std::vector<uint64_t>* scratch,
+    std::vector<uint64_t>* values,
+    std::vector<std::pair<uint64_t, uint32_t>>* segments);
 
 }  // namespace summaries
 }  // namespace disttrack

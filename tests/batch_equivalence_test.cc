@@ -324,6 +324,158 @@ TEST(BatchEquivalenceTest, RankLadderBatchedFeedDistributionMatchesStaged) {
   EXPECT_LE(mean_gap, 4.0 * pooled_sd + 1e-9);
 }
 
+// ---- site-grouped delivery (use_site_grouping) ---------------------------
+//
+// Inside a chunk CoarseTracker::BatchCannotBroadcast certifies, arrivals
+// are permuted into site-contiguous spans; per-site coin streams and
+// event positions are site-local, so the grouped engines must be
+// bit-identical to the event-countdown engines — estimates to the ulp,
+// communication totals, rounds, splits — for every workload shape and
+// any batch chunking (including single huge batches that the engines
+// chunk internally, straddling p-halving broadcasts and round/split
+// boundaries).
+
+TEST(BatchEquivalenceTest, CountGroupedBitIdenticalAcrossWorkloads) {
+  const int k = 16;
+  const uint64_t kN = 150000;
+  for (auto sched : {SiteSchedule::kUniformRandom, SiteSchedule::kSingleSite,
+                     SiteSchedule::kSkewedGeometric, SiteSchedule::kBursty}) {
+    auto w = MakeCountWorkload(k, kN, sched, 901);
+    count::RandomizedCountOptions o;
+    o.num_sites = k;
+    o.epsilon = 0.01;
+    o.seed = 31;
+    o.use_site_grouping = true;
+    count::RandomizedCountTracker grouped(o);
+    o.use_site_grouping = false;
+    count::RandomizedCountTracker countdown(o);
+    // One huge batch for the grouped tracker (internal chunking must
+    // break at exactly the certified boundaries), ragged batches for the
+    // countdown one.
+    grouped.ArriveBatch(w.data(), w.size());
+    DeliverRagged(&countdown, w, 3);
+    ASSERT_DOUBLE_EQ(grouped.EstimateCount(), countdown.EstimateCount());
+    EXPECT_EQ(grouped.meter().TotalMessages(),
+              countdown.meter().TotalMessages());
+    EXPECT_EQ(grouped.meter().TotalWords(), countdown.meter().TotalWords());
+    EXPECT_EQ(grouped.rounds(), countdown.rounds());
+  }
+}
+
+TEST(BatchEquivalenceTest, CountGroupedSiteStreamMatchesScalar) {
+  const int k = 8;
+  const uint64_t kN = 120000;
+  auto w = MakeCountWorkload(k, kN, SiteSchedule::kUniformRandom, 77);
+  sim::SiteStream sites(w.size());
+  for (size_t i = 0; i < w.size(); ++i) {
+    sites[i] = static_cast<uint16_t>(w[i].site);
+  }
+  count::RandomizedCountOptions o;
+  o.num_sites = k;
+  o.epsilon = 0.01;
+  o.seed = 5;
+  count::RandomizedCountTracker grouped(o), scalar(o);
+  grouped.ArriveSites(sites.data(), sites.size());
+  for (const auto& a : w) scalar.Arrive(a.site);
+  EXPECT_DOUBLE_EQ(grouped.EstimateCount(), scalar.EstimateCount());
+  EXPECT_EQ(grouped.meter().TotalWords(), scalar.meter().TotalWords());
+}
+
+TEST(BatchEquivalenceTest, FrequencyGroupedBitIdenticalAcrossWorkloads) {
+  const int k = 8;
+  const uint64_t kN = 90000;
+  for (auto sched : {SiteSchedule::kUniformRandom, SiteSchedule::kSingleSite,
+                     SiteSchedule::kBursty}) {
+    auto w = MakeFrequencyWorkload(k, kN, sched, 400, 1.1, 311);
+    frequency::RandomizedFrequencyOptions o;
+    o.num_sites = k;
+    o.epsilon = 0.02;  // many rounds and (single-site) many splits inside
+    o.seed = 17;
+    o.use_site_grouping = true;
+    frequency::RandomizedFrequencyTracker grouped(o);
+    o.use_site_grouping = false;
+    frequency::RandomizedFrequencyTracker countdown(o), scalar(o);
+    grouped.ArriveBatch(w.data(), w.size());
+    DeliverRagged(&countdown, w, 5);
+    for (const auto& a : w) scalar.Arrive(a.site, a.key);
+    EXPECT_EQ(grouped.rounds(), scalar.rounds());
+    EXPECT_EQ(grouped.splits(), scalar.splits());
+    for (uint64_t item = 0; item < 50; ++item) {
+      ASSERT_DOUBLE_EQ(grouped.EstimateFrequency(item),
+                       scalar.EstimateFrequency(item))
+          << "item " << item;
+      ASSERT_DOUBLE_EQ(countdown.EstimateFrequency(item),
+                       scalar.EstimateFrequency(item))
+          << "item " << item;
+    }
+    EXPECT_EQ(grouped.meter().TotalMessages(), scalar.meter().TotalMessages());
+    EXPECT_EQ(grouped.meter().TotalWords(), scalar.meter().TotalWords());
+  }
+}
+
+TEST(BatchEquivalenceTest, RankGroupedDominantSiteStraddlingChunks) {
+  // Regression: rank buffers eventless runs across its internal chunk
+  // boundaries without advancing the coarse tracker, so the broadcast
+  // certification must count the buffered carry — a dominant site whose
+  // event gap straddles the chunk boundary used to trip the
+  // broadcast-inside-certified-chunk abort.
+  Rng site_rng(3);
+  sim::Workload w;
+  for (int i = 0; i < 300000; ++i) {
+    int site = site_rng.UniformU64(1000) == 0
+                   ? 1 + static_cast<int>(site_rng.UniformU64(3))
+                   : 0;
+    w.push_back(sim::Arrival{site, site_rng.UniformU64(1 << 16)});
+  }
+  rank::RandomizedRankOptions o;
+  o.num_sites = 4;
+  o.epsilon = 0.05;
+  o.seed = 9;
+  o.use_site_grouping = true;
+  rank::RandomizedRankTracker grouped(o);
+  o.use_site_grouping = false;
+  rank::RandomizedRankTracker countdown(o);
+  grouped.ArriveBatch(w.data(), w.size());
+  countdown.ArriveBatch(w.data(), w.size());
+  for (uint64_t q : {100ull, 20000ull, 50000ull}) {
+    ASSERT_DOUBLE_EQ(grouped.EstimateRank(q), countdown.EstimateRank(q));
+  }
+  EXPECT_EQ(grouped.meter().TotalWords(), countdown.meter().TotalWords());
+}
+
+TEST(BatchEquivalenceTest, RankGroupedBitIdenticalToCountdownAcrossChunkings) {
+  // The grouped rank engine buffers eventless spans across its internal
+  // chunk boundaries and feeds at exactly the countdown engine's
+  // boundaries (events + batch ends), so for identical ArriveBatch call
+  // sequences the two engines must agree bit for bit — spans straddling
+  // round broadcasts and leaf/chunk completions included.
+  const int k = 8;
+  const uint64_t kN = 60000;
+  for (auto sched : {SiteSchedule::kUniformRandom, SiteSchedule::kSingleSite,
+                     SiteSchedule::kBursty}) {
+    auto w = MakeRankWorkload(k, kN, sched,
+                              stream::ValueOrder::kUniformRandom, 16, 67);
+    rank::RandomizedRankOptions o;
+    o.num_sites = k;
+    o.epsilon = 0.02;
+    o.seed = 41;
+    o.use_site_grouping = true;
+    rank::RandomizedRankTracker grouped(o);
+    o.use_site_grouping = false;
+    rank::RandomizedRankTracker countdown(o);
+    grouped.ArriveBatch(w.data(), w.size());
+    countdown.ArriveBatch(w.data(), w.size());
+    for (uint64_t q : {100ull, 9000ull, 30000ull, 65000ull}) {
+      ASSERT_DOUBLE_EQ(grouped.EstimateRank(q), countdown.EstimateRank(q))
+          << "q " << q;
+    }
+    EXPECT_EQ(grouped.meter().TotalMessages(),
+              countdown.meter().TotalMessages());
+    EXPECT_EQ(grouped.meter().TotalWords(), countdown.meter().TotalWords());
+    EXPECT_EQ(grouped.rounds(), countdown.rounds());
+  }
+}
+
 // Borrowed-view ingest vs owned staging at the summary level: one
 // over-capacity sorted view into a fresh summary must reproduce
 // InsertSortedBatch of the same data bit for bit (the virtual cascade

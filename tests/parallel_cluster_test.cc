@@ -333,6 +333,28 @@ TEST(ParallelClusterEdge, EmptyAndTinyWorkloads) {
   }
 }
 
+TEST(ParallelClusterEdge, AutoThreadsMatchesSerialBitForBit) {
+  // kAutoThreads sizes the pool from the hardware, clamped per replay by
+  // the site count; whatever it resolves to, the replay must stay
+  // bit-identical to the serial driver.
+  int k = 6;
+  Workload w = stream::MakeFrequencyWorkload(
+      k, 20000, stream::SiteSchedule::kUniformRandom, 1000, 1.1, 43);
+  ParallelCluster cluster(ParallelCluster::kAutoThreads);
+  EXPECT_GE(cluster.threads(), 1);
+  auto serial_tracker = MakeFrequency(Options(k));
+  auto serial = sim::ReplayFrequency(serial_tracker.get(), w, 0, 1.5);
+  auto tracker = MakeFrequency(Options(k));
+  auto parallel = cluster.ReplayFrequency(tracker.get(), w, 0, 1.5);
+  ExpectIdentical(serial, parallel);
+  // And for rank, whose keyed plan skips the index arrays.
+  auto serial_rank_tracker = MakeRank(Options(k));
+  auto serial_rank = sim::ReplayRank(serial_rank_tracker.get(), w, 500, 1.5);
+  auto rank_tracker = MakeRank(Options(k));
+  ExpectIdentical(serial_rank,
+                  cluster.ReplayRank(rank_tracker.get(), w, 500, 1.5));
+}
+
 TEST(ParallelClusterEdge, RepeatedRunsAreDeterministic) {
   int k = 8;
   Workload w = stream::MakeFrequencyWorkload(
