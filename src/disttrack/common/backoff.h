@@ -1,0 +1,51 @@
+// Capped exponential backoff for retransmission timers.
+//
+// The reliable channel in sim/transport.h retransmits an unacknowledged
+// frame after DelayFor(attempt) ticks: initial, 2*initial, 4*initial, ...
+// up to a hard cap. The schedule is a pure function of the attempt
+// number, so a retransmitting sender is deterministic given its frame
+// history — a requirement for the seeded fault-injection harness, where
+// every run must be reproducible from (FaultPlan, seed) alone.
+
+#ifndef DISTTRACK_COMMON_BACKOFF_H_
+#define DISTTRACK_COMMON_BACKOFF_H_
+
+#include <cstdint>
+
+namespace disttrack {
+
+/// Deterministic capped exponential backoff. No jitter by design: the
+/// simulated cluster wants reproducibility, and the fault layer already
+/// injects all the timing noise the tests need.
+class ExponentialBackoff {
+ public:
+  /// `initial` is the delay (in ticks) before the first retransmission;
+  /// `cap` bounds every later delay. Both are clamped to >= 1 so a
+  /// misconfigured channel can never retransmit in the same tick forever.
+  ExponentialBackoff(uint64_t initial, uint64_t cap)
+      : initial_(initial < 1 ? 1 : initial), cap_(cap < initial_ ? initial_ : cap) {}
+
+  ExponentialBackoff() : ExponentialBackoff(1, 64) {}
+
+  /// Delay before retransmission number `attempt` (0-based): attempt 0 is
+  /// the wait between the original send and the first retransmit.
+  /// min(cap, initial * 2^attempt), overflow-safe.
+  uint64_t DelayFor(uint32_t attempt) const {
+    if (attempt >= 63) return cap_;
+    uint64_t shifted = initial_ << attempt;
+    // Detect overflow of the shift as well as exceeding the cap.
+    if ((shifted >> attempt) != initial_ || shifted > cap_) return cap_;
+    return shifted;
+  }
+
+  uint64_t initial() const { return initial_; }
+  uint64_t cap() const { return cap_; }
+
+ private:
+  uint64_t initial_;
+  uint64_t cap_;
+};
+
+}  // namespace disttrack
+
+#endif  // DISTTRACK_COMMON_BACKOFF_H_

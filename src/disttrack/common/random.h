@@ -76,6 +76,21 @@ class Rng {
   void SampleWithoutReplacement(uint64_t universe, uint64_t m,
                                 std::vector<uint32_t>* out);
 
+  /// Copies the full 256-bit generator state into `out[0..3]`. Together
+  /// with RestoreState this makes a site's private randomness part of its
+  /// crash snapshot: a restored site replays exactly the coin sequence the
+  /// lost execution would have drawn.
+  void SaveState(uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = state_[i];
+  }
+
+  /// Restores a state captured by SaveState. The caller is responsible for
+  /// never restoring the all-zero state (xoshiro's one forbidden point);
+  /// SaveState can never produce it from a SplitMix64-seeded generator.
+  void RestoreState(const uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) state_[i] = in[i];
+  }
+
  private:
   uint64_t state_[4];
 };

@@ -81,6 +81,17 @@ class SkipSampler {
   /// Arrivals that will fail before the next success (diagnostics/tests).
   uint64_t pending_skips() const { return skip_; }
 
+  /// Raw state for crash snapshots. `raw_inv_log` must round-trip
+  /// bit-exactly (snapshot code stores its bit pattern), because the Draw
+  /// inversion multiplies by it: an ulp of drift could flip a floor and
+  /// desynchronize the replayed coin stream.
+  uint64_t raw_skip() const { return skip_; }
+  double raw_inv_log() const { return inv_log_; }
+  void RestoreRaw(uint64_t skip, double inv_log) {
+    skip_ = skip;
+    inv_log_ = inv_log;
+  }
+
  private:
   // Geometric(p) failures-before-success by inversion:
   // floor(log(U) / log(1-p)) for U ~ Uniform(0, 1].

@@ -74,13 +74,38 @@ void CoarseTracker::ApplyDeferredReport(int site, uint64_t delta) {
   }
 }
 
+void CoarseTracker::SerializeSite(int site, std::vector<uint64_t>* out) const {
+  const SiteState& s = local_[static_cast<size_t>(site)];
+  out->push_back(s.count);
+  out->push_back(s.next_report);
+  out->push_back(s.last_reported);
+}
+
+size_t CoarseTracker::RestoreSite(int site, const uint64_t* data) {
+  SiteState& s = local_[static_cast<size_t>(site)];
+  s.count = data[0];
+  s.next_report = data[1];
+  s.last_reported = data[2];
+  return 3;
+}
+
 void CoarseTracker::ReportAndMaybeBroadcast(int site) {
   SiteState& s = local_[static_cast<size_t>(site)];
   // Site -> coordinator: the local count has doubled.
   meter_->RecordUpload(site, 1);
-  n_prime_ += s.count - s.last_reported;
+  uint64_t delta = s.count - s.last_reported;
+  n_prime_ += delta;
   s.last_reported = s.count;
   s.next_report = s.count * 2;
+  if (tap_ != nullptr) {
+    sim::wire::Message msg;
+    msg.type = sim::wire::MsgType::kCoarseReport;
+    msg.site = site;
+    msg.epoch = round_;
+    msg.a = delta;
+    msg.paper_words = 1;
+    tap_->OnMessage(std::move(msg));
+  }
 
   // Coordinator: broadcast when n' has at least doubled since the last
   // broadcast (first broadcast at the very first report).
@@ -88,6 +113,16 @@ void CoarseTracker::ReportAndMaybeBroadcast(int site) {
     n_bar_ = n_prime_;
     ++round_;
     meter_->RecordBroadcast(1);
+    if (tap_ != nullptr) {
+      sim::wire::Message msg;
+      msg.type = sim::wire::MsgType::kBroadcast;
+      msg.site = -1;
+      msg.epoch = round_;
+      msg.a = round_;
+      msg.b = n_bar_;
+      msg.paper_words = 1;
+      tap_->OnMessage(std::move(msg));
+    }
     for (auto& obs : observers_) obs(round_, n_bar_);
   }
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "disttrack/sim/comm_meter.h"
+#include "disttrack/sim/wire.h"
 
 namespace disttrack {
 namespace count {
@@ -123,6 +124,21 @@ class CoarseTracker {
   /// report can never legitimately trip it.
   void ApplyDeferredReport(int site, uint64_t delta);
 
+  // --- Wire layer / crash recovery ---------------------------------------
+
+  /// Installs a message tap (sim/wire.h): every coarse report and every
+  /// broadcast is mirrored as a typed message. nullptr disables.
+  void set_wire_tap(sim::wire::WireTap* tap) { tap_ = tap; }
+
+  /// Serializes one site's local half (count, next_report, last_reported)
+  /// into `*out` (appended). The coordinator half (n', n̄, round) is not
+  /// site state and is never part of a site snapshot.
+  void SerializeSite(int site, std::vector<uint64_t>* out) const;
+
+  /// Restores a site's local half from SerializeSite output at `data`.
+  /// Returns the number of words consumed.
+  size_t RestoreSite(int site, const uint64_t* data);
+
   /// Last broadcast value (0 before the first element arrives).
   uint64_t n_bar() const { return n_bar_; }
 
@@ -150,6 +166,7 @@ class CoarseTracker {
   void ReportAndMaybeBroadcast(int site);
 
   sim::CommMeter* meter_;
+  sim::wire::WireTap* tap_ = nullptr;
   std::vector<SiteState> local_;
   std::vector<BroadcastObserver> observers_;
   uint64_t n_prime_ = 0;

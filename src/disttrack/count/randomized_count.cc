@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "disttrack/common/math_util.h"
 
@@ -89,6 +90,7 @@ void RandomizedCountTracker::OnBroadcast(uint64_t /*round*/, uint64_t n_bar) {
           failures >= positions_below ? 0 : old_report - 1 - failures;
       // Coordinator-side update (the site informs the coordinator).
       meter_.RecordUpload(i, 1);
+      EmitTap(sim::wire::MsgType::kCorrection, i, new_report);
       reported_sum_ -= old_report;
       --reported_count_;
       s.reported = new_report;
@@ -118,6 +120,130 @@ void RandomizedCountTracker::Report(int site) {
   else ++reported_count_;
   s.reported = s.count;
   reported_sum_ += s.reported;
+  EmitTap(sim::wire::MsgType::kCoinReport, site, s.reported);
+}
+
+void RandomizedCountTracker::EmitTap(sim::wire::MsgType type, int site,
+                                     uint64_t a) {
+  if (tap_ == nullptr) return;
+  sim::wire::Message msg;
+  msg.type = type;
+  msg.site = site;
+  msg.epoch = coarse_->round();
+  msg.a = a;
+  msg.paper_words = 1;
+  tap_->OnMessage(std::move(msg));
+}
+
+void RandomizedCountTracker::set_wire_tap(sim::wire::WireTap* tap) {
+  tap_ = tap;
+  coarse_->set_wire_tap(tap);
+}
+
+void RandomizedCountTracker::SerializeSiteState(
+    int site, std::vector<uint64_t>* out) const {
+  out->push_back(inv_p_);
+  out->push_back(static_cast<uint64_t>(log2_inv_p_));
+  coarse_->SerializeSite(site, out);
+  const SiteState& s = sites_[static_cast<size_t>(site)];
+  out->push_back(s.count);
+  out->push_back(s.reported);
+  out->push_back(s.skip.raw_skip());
+  uint64_t inv_log_bits = 0;
+  double inv_log = s.skip.raw_inv_log();
+  std::memcpy(&inv_log_bits, &inv_log, sizeof(inv_log_bits));
+  out->push_back(inv_log_bits);
+  uint64_t rng_state[4];
+  s.rng.SaveState(rng_state);
+  for (uint64_t word : rng_state) out->push_back(word);
+}
+
+void RandomizedCountTracker::RestoreSiteState(
+    int site, const std::vector<uint64_t>& blob) {
+  size_t i = 0;
+  inv_p_ = blob[i++];
+  log2_inv_p_ = static_cast<int>(blob[i++]);
+  i += coarse_->RestoreSite(site, blob.data() + i);
+  SiteState& s = sites_[static_cast<size_t>(site)];
+  s.count = blob[i++];
+  s.reported = blob[i++];
+  uint64_t skip = blob[i++];
+  uint64_t inv_log_bits = blob[i++];
+  double inv_log = 0;
+  std::memcpy(&inv_log, &inv_log_bits, sizeof(inv_log));
+  s.skip.RestoreRaw(skip, inv_log);
+  uint64_t rng_state[4];
+  for (int j = 0; j < 4; ++j) rng_state[j] = blob[i++];
+  s.rng.RestoreState(rng_state);
+}
+
+void RandomizedCountTracker::BeginCrashReplay(int site) {
+  crash_replay_ = true;
+  replay_site_ = site;
+  replay_saved_inv_p_ = inv_p_;
+  replay_saved_log2_ = log2_inv_p_;
+}
+
+void RandomizedCountTracker::EndCrashReplay() {
+  if (inv_p_ != replay_saved_inv_p_ || log2_inv_p_ != replay_saved_log2_) {
+    std::fprintf(stderr,
+                 "RandomizedCountTracker: crash replay did not re-evolve "
+                 "1/p to its pre-crash value (journal is incomplete)\n");
+    std::abort();
+  }
+  crash_replay_ = false;
+  replay_site_ = -1;
+}
+
+void RandomizedCountTracker::ReplayCrashArrive(int site,
+                                               const uint64_t* mid_ritual_n_bar) {
+  SiteState& s = sites_[static_cast<size_t>(site)];
+  ++s.count;
+  uint64_t delta = coarse_->ArriveLocal(site);
+  if (delta > 0) {
+    EmitTap(sim::wire::MsgType::kCoarseReport, site, delta);
+  }
+  if (mid_ritual_n_bar != nullptr) {
+    if (delta == 0) {
+      std::fprintf(stderr,
+                   "RandomizedCountTracker: journaled mid-arrival broadcast "
+                   "at an arrival with no coarse report\n");
+      std::abort();
+    }
+    ReplayCrashRitual(site, *mid_ritual_n_bar);
+  }
+  bool hit = options_.use_skip_sampling
+                 ? s.skip.Next(&s.rng)
+                 : s.rng.Bernoulli(1.0 / static_cast<double>(inv_p_));
+  if (hit) {
+    // Site half of Report(): the coordinator's aggregates already contain
+    // this report from the original (pre-crash) delivery.
+    s.reported = s.count;
+    EmitTap(sim::wire::MsgType::kCoinReport, site, s.reported);
+  }
+}
+
+void RandomizedCountTracker::ReplayCrashRitual(int site, uint64_t n_bar) {
+  uint64_t new_inv_p = InvPFor(n_bar);
+  bool halved = inv_p_ < new_inv_p;
+  SiteState& s = sites_[static_cast<size_t>(site)];
+  while (inv_p_ < new_inv_p) {
+    inv_p_ *= 2;
+    ++log2_inv_p_;
+    double p_new = 1.0 / static_cast<double>(inv_p_);
+    // Per-site half of the §2.1 ritual, with the identical draw order the
+    // full OnBroadcast loop consumes for this site.
+    if (s.reported != 0 && !s.rng.Bernoulli(0.5)) {
+      uint64_t old_report = s.reported;
+      uint64_t failures = s.rng.GeometricFailures(p_new);
+      uint64_t positions_below = old_report - 1;
+      s.reported = failures >= positions_below ? 0 : old_report - 1 - failures;
+      EmitTap(sim::wire::MsgType::kCorrection, site, s.reported);
+    }
+  }
+  if (halved && options_.use_skip_sampling) {
+    s.skip.ResetPow2(log2_inv_p_, &s.rng);
+  }
 }
 
 inline void RandomizedCountTracker::ArriveOne(int site) {

@@ -112,11 +112,52 @@ class RandomizedCountTracker : public sim::CountTrackerInterface,
   /// Rounds completed so far (CoarseTracker broadcasts).
   uint64_t rounds() const { return coarse_->round(); }
 
+  // --- Wire layer / crash recovery (sim/robust_cluster.h) ----------------
+  // A tap mirrors every metered message (coarse reports, coin reports,
+  // p-halving corrections, broadcasts) as a typed wire::Message at the
+  // §1.1 send instant; snapshots capture one site's full private state
+  // (counters, report, skip countdown, RNG) so a crashed site can be
+  // restored and replayed bit-identically; the ReplayCrash* calls re-run a
+  // site's lost arrivals with every coordinator-side effect suppressed
+  // (no n_, meter, or estimator-aggregate writes) while the site-local
+  // state and RNG stream advance exactly as the lost execution did.
+
+  void set_wire_tap(sim::wire::WireTap* tap);
+
+  /// Count sites can snapshot between any two arrivals.
+  bool SiteSnapshotReady(int /*site*/) const { return true; }
+
+  /// Appends site `site`'s state — plus the round-scoped globals the
+  /// replay needs (1/p) — to `*out`.
+  void SerializeSiteState(int site, std::vector<uint64_t>* out) const;
+
+  /// Restores SerializeSiteState output. Also installs the serialized
+  /// globals; outside crash replay the caller restores a tracker at the
+  /// same stream position, where they are unchanged.
+  void RestoreSiteState(int site, const std::vector<uint64_t>& blob);
+
+  /// Brackets a crash replay of `site`. Begin saves the live round
+  /// globals (the snapshot will rewind them); End verifies the replayed
+  /// broadcasts evolved them back to exactly the saved values.
+  void BeginCrashReplay(int site);
+  void EndCrashReplay();
+
+  /// Re-delivers one lost arrival to the crashed site. `mid_ritual_n_bar`
+  /// is non-null iff this arrival's coarse report triggered a broadcast in
+  /// the original run; the per-site half of the round ritual is then
+  /// replayed at the exact point the original run performed it.
+  void ReplayCrashArrive(int site, const uint64_t* mid_ritual_n_bar);
+
+  /// Replays the per-site half of a round ritual that fired between two
+  /// of the site's arrivals (another site triggered it).
+  void ReplayCrashRitual(int site, uint64_t n_bar);
+
  private:
   void OnBroadcast(uint64_t round, uint64_t n_bar);
   uint64_t InvPFor(uint64_t n_bar) const;
   void ArriveOne(int site);
   void Report(int site);
+  void EmitTap(sim::wire::MsgType type, int site, uint64_t a);
 
   // --- Sharded replay (sim::CountShardIngest) ----------------------------
   void ShardEpochBegin(uint64_t arrivals_in_epoch) override;
@@ -166,6 +207,13 @@ class RandomizedCountTracker : public sim::CountTrackerInterface,
   sim::CommMeter meter_;
   sim::SpaceGauge space_;
   std::unique_ptr<CoarseTracker> coarse_;
+  sim::wire::WireTap* tap_ = nullptr;
+
+  // Crash-replay bookkeeping (see BeginCrashReplay).
+  bool crash_replay_ = false;
+  int replay_site_ = -1;
+  uint64_t replay_saved_inv_p_ = 0;
+  int replay_saved_log2_ = 0;
 
   // Site-side state (O(1) words each).
   struct SiteState {

@@ -128,6 +128,18 @@ class CounterTable {
     size_ = 0;
   }
 
+  /// Invokes fn(key, value) for every live counter, in table (probe)
+  /// order. The order is deterministic for a fixed insertion history but
+  /// not meaningful; snapshot serialization is the intended caller, and
+  /// restoring via Insert() in any order rebuilds an observably identical
+  /// table (lookups and increments do not depend on physical layout).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < ctrl_.size(); ++i) {
+      if (ctrl_[i] != 0) fn(slots_[i].key, slots_[i].value);
+    }
+  }
+
   /// Live counters in the current epoch.
   size_t size() const { return size_; }
 

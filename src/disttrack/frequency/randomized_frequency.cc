@@ -183,16 +183,61 @@ struct RandomizedFrequencyTracker::DirectPort {
   void SplitNotify(int site) {
     t->meter_.RecordUpload(site, 1);
     ++t->splits_;
+    t->EmitTap(sim::wire::MsgType::kSplitNotice, site, 0, 0, 0, 1);
   }
   void CounterReport(int site, uint64_t item, uint64_t instance,
                      uint64_t value) {
     t->meter_.RecordUpload(site, 2);
     t->LiveAgg(item).ForInstance(instance).cbar = value;
+    t->EmitTap(sim::wire::MsgType::kCounterReport, site, item, instance,
+               value, 2);
   }
   void SampleForward(int site, uint64_t item, uint64_t instance) {
     t->meter_.RecordUpload(site, 1);
     InstanceAgg& agg = t->LiveAgg(item).ForInstance(instance);
     if (agg.cbar == 0) agg.d += 1;
+    t->EmitTap(sim::wire::MsgType::kSampleForward, site, item, instance, 0,
+               1);
+  }
+};
+
+// Crash-replay coordinator port: the site-local half of every arrival runs
+// unchanged (counters, splits, coins, instance minting), every wire frame
+// is re-emitted with identical content, and every coordinator-side effect
+// — meter charges, split counter, live aggregation — is suppressed: the
+// coordinator already received these messages from the pre-crash
+// execution, and the replica dedups the re-emitted frames by sequence
+// number.
+struct RandomizedFrequencyTracker::ReplayPort {
+  RandomizedFrequencyTracker* t;
+  const uint64_t* mid_n_bar;
+  void CoarseArrive(int site) {
+    uint64_t delta = t->coarse_->ArriveLocal(site);
+    if (delta > 0) {
+      t->EmitTap(sim::wire::MsgType::kCoarseReport, site, delta, 0, 0, 1);
+    }
+    if (mid_n_bar != nullptr) {
+      if (delta == 0) {
+        std::fprintf(stderr,
+                     "RandomizedFrequencyTracker: journaled mid-arrival "
+                     "broadcast at an arrival with no coarse report\n");
+        std::abort();
+      }
+      t->ReplayCrashRitual(site, *mid_n_bar);
+      mid_n_bar = nullptr;
+    }
+  }
+  void SplitNotify(int site) {
+    t->EmitTap(sim::wire::MsgType::kSplitNotice, site, 0, 0, 0, 1);
+  }
+  void CounterReport(int site, uint64_t item, uint64_t instance,
+                     uint64_t value) {
+    t->EmitTap(sim::wire::MsgType::kCounterReport, site, item, instance,
+               value, 2);
+  }
+  void SampleForward(int site, uint64_t item, uint64_t instance) {
+    t->EmitTap(sim::wire::MsgType::kSampleForward, site, item, instance, 0,
+               1);
   }
 };
 
@@ -543,6 +588,147 @@ double RandomizedFrequencyTracker::EstimateFrequency(uint64_t item) const {
   }
   if (const ItemAgg* agg = FindLiveAgg(item)) est += LiveEstimate(*agg);
   return est;
+}
+
+void RandomizedFrequencyTracker::EmitTap(sim::wire::MsgType type, int site,
+                                         uint64_t a, uint64_t b, uint64_t c,
+                                         uint64_t words) {
+  if (tap_ == nullptr) return;
+  sim::wire::Message msg;
+  msg.type = type;
+  msg.site = site;
+  msg.epoch = coarse_->round();
+  msg.a = a;
+  msg.b = b;
+  msg.c = c;
+  msg.paper_words = words;
+  tap_->OnMessage(std::move(msg));
+}
+
+void RandomizedFrequencyTracker::set_wire_tap(sim::wire::WireTap* tap) {
+  tap_ = tap;
+  coarse_->set_wire_tap(tap);
+}
+
+void RandomizedFrequencyTracker::SerializeSiteState(
+    int site, std::vector<uint64_t>* out) const {
+  out->push_back(inv_p_);
+  out->push_back(static_cast<uint64_t>(log2_inv_p_));
+  out->push_back(split_threshold_);
+  coarse_->SerializeSite(site, out);
+  const SiteState& s = sites_[static_cast<size_t>(site)];
+  out->push_back(s.instance);
+  out->push_back(s.instance_seq);
+  out->push_back(s.round_arrivals);
+  for (const SkipSampler* skip : {&s.counter_skip, &s.sample_skip}) {
+    out->push_back(skip->raw_skip());
+    uint64_t bits = 0;
+    double inv_log = skip->raw_inv_log();
+    std::memcpy(&bits, &inv_log, sizeof(bits));
+    out->push_back(bits);
+  }
+  uint64_t rng_state[4];
+  s.rng.SaveState(rng_state);
+  for (uint64_t word : rng_state) out->push_back(word);
+  // The sticky counter list. Physical table order is not meaningful;
+  // restore rebuilds by Insert, which yields an observably identical
+  // store regardless of layout.
+  if (options_.use_flat_counters) {
+    out->push_back(s.counters.size());
+    s.counters.ForEach([out](uint64_t key, uint64_t value) {
+      out->push_back(key);
+      out->push_back(value);
+    });
+  } else {
+    out->push_back(s.legacy_counters.size());
+    std::vector<std::pair<uint64_t, uint64_t>> sorted(
+        s.legacy_counters.begin(), s.legacy_counters.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& kv : sorted) {
+      out->push_back(kv.first);
+      out->push_back(kv.second);
+    }
+  }
+}
+
+void RandomizedFrequencyTracker::RestoreSiteState(
+    int site, const std::vector<uint64_t>& blob) {
+  size_t i = 0;
+  inv_p_ = blob[i++];
+  log2_inv_p_ = static_cast<int>(blob[i++]);
+  split_threshold_ = blob[i++];
+  i += coarse_->RestoreSite(site, blob.data() + i);
+  SiteState& s = sites_[static_cast<size_t>(site)];
+  s.instance = blob[i++];
+  s.instance_seq = static_cast<uint32_t>(blob[i++]);
+  s.round_arrivals = blob[i++];
+  for (SkipSampler* skip : {&s.counter_skip, &s.sample_skip}) {
+    uint64_t raw_skip = blob[i++];
+    uint64_t bits = blob[i++];
+    double inv_log = 0;
+    std::memcpy(&inv_log, &bits, sizeof(inv_log));
+    skip->RestoreRaw(raw_skip, inv_log);
+  }
+  uint64_t rng_state[4];
+  for (int j = 0; j < 4; ++j) rng_state[j] = blob[i++];
+  s.rng.RestoreState(rng_state);
+  ClearCounters(&s);
+  uint64_t counters = blob[i++];
+  for (uint64_t j = 0; j < counters; ++j) {
+    uint64_t key = blob[i++];
+    uint64_t value = blob[i++];
+    if (options_.use_flat_counters) {
+      s.counters.Insert(key, value);
+    } else {
+      s.legacy_counters.emplace(key, value);
+    }
+  }
+  UpdateSpace(site);
+}
+
+void RandomizedFrequencyTracker::BeginCrashReplay(int site) {
+  crash_replay_ = true;
+  replay_site_ = site;
+  replay_saved_inv_p_ = inv_p_;
+  replay_saved_log2_ = log2_inv_p_;
+  replay_saved_split_threshold_ = split_threshold_;
+}
+
+void RandomizedFrequencyTracker::EndCrashReplay() {
+  if (inv_p_ != replay_saved_inv_p_ || log2_inv_p_ != replay_saved_log2_ ||
+      split_threshold_ != replay_saved_split_threshold_) {
+    std::fprintf(stderr,
+                 "RandomizedFrequencyTracker: crash replay did not re-evolve "
+                 "the round parameters to their pre-crash values\n");
+    std::abort();
+  }
+  crash_replay_ = false;
+  replay_site_ = -1;
+}
+
+void RandomizedFrequencyTracker::ReplayCrashArrive(
+    int site, uint64_t item, const uint64_t* mid_ritual_n_bar) {
+  ReplayPort port{this, mid_ritual_n_bar};
+  ProcessArrivalImpl(site, item, port);
+}
+
+void RandomizedFrequencyTracker::ReplayCrashRitual(int site, uint64_t n_bar) {
+  // Per-site half of OnBroadcast, with the identical draw order. The
+  // coordinator half (FoldRound) already ran in the original execution
+  // and its result is intact.
+  inv_p_ = InvPFor(n_bar);
+  log2_inv_p_ = FloorLog2(inv_p_);
+  split_threshold_ = std::max<uint64_t>(
+      1, n_bar / static_cast<uint64_t>(options_.num_sites));
+  SiteState& s = sites_[static_cast<size_t>(site)];
+  ClearCounters(&s);
+  s.round_arrivals = 0;
+  s.instance = NewInstanceId(site, &s);
+  if (options_.use_skip_sampling) {
+    s.counter_skip.ResetPow2(log2_inv_p_, &s.rng);
+    s.sample_skip.ResetPow2(log2_inv_p_, &s.rng);
+  }
+  UpdateSpace(site);
 }
 
 }  // namespace frequency

@@ -141,6 +141,32 @@ class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface,
   /// Number of virtual-site splits performed so far (diagnostics).
   uint64_t splits() const { return splits_; }
 
+  // --- Wire layer / crash recovery (sim/robust_cluster.h) ----------------
+  // Mirrors the count tracker's API: a tap emits every metered message as
+  // a typed wire::Message; site snapshots capture the sticky counter
+  // list, both skip channels, the instance id mint, and the RNG; the
+  // ReplayCrash* calls re-run lost arrivals through a coordinator-
+  // suppressed port (frames re-emitted, no meter/aggregation writes).
+
+  void set_wire_tap(sim::wire::WireTap* tap);
+
+  /// Frequency sites can snapshot between any two arrivals.
+  bool SiteSnapshotReady(int /*site*/) const { return true; }
+
+  void SerializeSiteState(int site, std::vector<uint64_t>* out) const;
+  void RestoreSiteState(int site, const std::vector<uint64_t>& blob);
+
+  void BeginCrashReplay(int site);
+  void EndCrashReplay();
+
+  /// Re-delivers one lost arrival. `mid_ritual_n_bar` non-null iff the
+  /// arrival's coarse report triggered a broadcast in the original run.
+  void ReplayCrashArrive(int site, uint64_t item,
+                         const uint64_t* mid_ritual_n_bar);
+
+  /// Per-site half of a round transition another site triggered.
+  void ReplayCrashRitual(int site, uint64_t n_bar);
+
  private:
   struct SiteState {
     uint64_t instance = 0;      // current virtual-site id (globally unique)
@@ -258,7 +284,11 @@ class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface,
   };
   struct DirectPort;
   struct ShardPort;
+  struct ReplayPort;
   std::vector<std::vector<ShardMsg>> shard_sinks_;  // one sink per site
+
+  void EmitTap(sim::wire::MsgType type, int site, uint64_t a, uint64_t b,
+               uint64_t c, uint64_t words);
 
   // The per-site span loop shared by shard ingest and grouped delivery:
   // eventless stretches pay one batched table walk and retire in bulk;
@@ -291,6 +321,14 @@ class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface,
   sim::SpaceGauge space_;
   std::unique_ptr<count::CoarseTracker> coarse_;
   std::vector<SiteState> sites_;
+  sim::wire::WireTap* tap_ = nullptr;
+
+  // Crash-replay bookkeeping (see BeginCrashReplay).
+  bool crash_replay_ = false;
+  int replay_site_ = -1;
+  uint64_t replay_saved_inv_p_ = 0;
+  int replay_saved_log2_ = 0;
+  uint64_t replay_saved_split_threshold_ = 0;
 
   // Current round: item -> (arena slot + 1) in live_index_; the arena
   // entries [0, live_used_) are this round's ItemAggs.

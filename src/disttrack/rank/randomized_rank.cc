@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <limits>
 
 #include "disttrack/common/math_util.h"
@@ -109,9 +110,29 @@ void RandomizedRankTracker::StartFreshInstance(SiteState* s) {
     // samples); unpulled ladder data goes with it.
     s->ladder.Reset(levels);
   }
-  s->owned_instances.emplace_back();
-  s->idata = &s->owned_instances.back();
-  s->idata->inv_p = inv_p_;
+  if (crash_replay_) {
+    // The coordinator-side instance storage survived the crash: advance
+    // the replay cursor through the instances the original execution
+    // created instead of appending duplicates.
+    ++replay_cursor_;
+    if (replay_cursor_ >= s->owned_instances.size()) {
+      std::fprintf(stderr,
+                   "RandomizedRankTracker: crash replay created more "
+                   "instances than the original execution\n");
+      std::abort();
+    }
+    s->idata = &s->owned_instances[replay_cursor_];
+    if (s->idata->inv_p != inv_p_) {
+      std::fprintf(stderr,
+                   "RandomizedRankTracker: crash replay diverged — "
+                   "instance %zu round p mismatch\n", replay_cursor_);
+      std::abort();
+    }
+  } else {
+    s->owned_instances.emplace_back();
+    s->idata = &s->owned_instances.back();
+    s->idata->inv_p = inv_p_;
+  }
   if (options_.use_skip_sampling) {
     // Rounds change p, which invalidates outstanding skips; chunk
     // boundaries don't, but a redraw is exact either way (independence of
@@ -164,6 +185,7 @@ void RandomizedRankTracker::RecycleStored(SiteState* s,
 }
 
 void RandomizedRankTracker::Upload(int site, uint64_t words) {
+  if (crash_replay_) return;  // the pre-crash execution already charged it
   if (shard_mode_) {
     ShardSink& sink = shard_sinks_[static_cast<size_t>(site)];
     ++sink.messages;
@@ -174,6 +196,35 @@ void RandomizedRankTracker::Upload(int site, uint64_t words) {
 }
 
 void RandomizedRankTracker::CoarseArriveOne(int site) {
+  if (crash_replay_) {
+    // Site-local coarse advance, frame re-emission, and — when the
+    // journal says this arrival's report triggered a broadcast — the
+    // per-site half of the round ritual, at the exact point the original
+    // execution performed it (before this arrival's value feeds the
+    // tree). No n', meter, or round writes: the coordinator kept those.
+    uint64_t delta = coarse_->ArriveLocal(site);
+    if (delta > 0 && tap_ != nullptr) {
+      sim::wire::Message msg;
+      msg.type = sim::wire::MsgType::kCoarseReport;
+      msg.site = site;
+      msg.epoch = coarse_->round();
+      msg.a = delta;
+      msg.paper_words = 1;
+      tap_->OnMessage(std::move(msg));
+    }
+    if (replay_mid_n_bar_ != nullptr) {
+      if (delta == 0) {
+        std::fprintf(stderr,
+                     "RandomizedRankTracker: journaled mid-arrival "
+                     "broadcast at an arrival with no coarse report\n");
+        std::abort();
+      }
+      uint64_t n_bar = *replay_mid_n_bar_;
+      replay_mid_n_bar_ = nullptr;
+      ReplayCrashRitual(site, n_bar);
+    }
+    return;
+  }
   if (shard_mode_) {
     if (uint64_t delta = coarse_->ArriveLocal(site)) {
       shard_sinks_[static_cast<size_t>(site)].coarse_deltas.push_back(delta);
@@ -204,7 +255,12 @@ void RandomizedRankTracker::FlushNode(int site, SiteState* s, int level,
         s->view_scratch.size(), total, &s->leaf_scratch, &stored.values,
         &stored.segments);
     Upload(site, words);
-    s->idata->summaries.push_back(std::move(stored));
+    EmitSummaryFrame(site, stored, words);
+    if (crash_replay_) {
+      RecycleStored(s, std::move(stored));  // original already stored it
+    } else {
+      s->idata->summaries.push_back(std::move(stored));
+    }
     return;
   }
   auto& node = s->nodes[static_cast<size_t>(level)];
@@ -229,7 +285,12 @@ void RandomizedRankTracker::FlushNode(int site, SiteState* s, int level,
         s->view_scratch.data(), s->view_scratch.size(), total,
         &stored.values, &stored.segments);
     Upload(site, words);
-    s->idata->summaries.push_back(std::move(stored));
+    EmitSummaryFrame(site, stored, words);
+    if (crash_replay_) {
+      RecycleStored(s, std::move(stored));
+    } else {
+      s->idata->summaries.push_back(std::move(stored));
+    }
     s->pool[static_cast<size_t>(level)].push_back(std::move(node));
     return;
   }
@@ -238,13 +299,19 @@ void RandomizedRankTracker::FlushNode(int site, SiteState* s, int level,
     return;
   }
   // Site -> coordinator: the serialized summary.
-  Upload(site, node->SerializedWords());
+  uint64_t words = node->SerializedWords();
+  Upload(site, words);
 
   StoredSummary stored = TakeStored(s);
   stored.first_leaf = node_start;
   stored.end_leaf = end_leaf;
   node->ExportLevels(&stored.values, &stored.segments);
-  s->idata->summaries.push_back(std::move(stored));
+  EmitSummaryFrame(site, stored, words);
+  if (crash_replay_) {
+    RecycleStored(s, std::move(stored));
+  } else {
+    s->idata->summaries.push_back(std::move(stored));
+  }
   s->pool[static_cast<size_t>(level)].push_back(std::move(node));
 }
 
@@ -359,14 +426,22 @@ inline void RandomizedRankTracker::ProcessArrival(int site, uint64_t value) {
     // summary — exactly what the node path's leaf-completion prune does).
     bool fwd = options_.use_skip_sampling ? s.tail_skip.Next(&s.rng)
                                           : s.rng.Bernoulli(1.0 / inv_p_);
-    if (fwd) Upload(site, 2);
+    if (fwd) {
+      Upload(site, 2);
+      EmitResidualFrame(site, 0, value);
+    }
     Upload(site, 3);  // single-item summary: value + header
     StoredSummary stored = TakeStored(&s);
     stored.first_leaf = 0;
     stored.end_leaf = 1;
     stored.values.push_back(value);
     stored.segments.emplace_back(1, 1);
-    s.idata->summaries.push_back(std::move(stored));
+    EmitSummaryFrame(site, stored, 3);
+    if (crash_replay_) {
+      RecycleStored(&s, std::move(stored));
+    } else {
+      s.idata->summaries.push_back(std::move(stored));
+    }
     StartFreshInstance(&s);
     return;
   }
@@ -398,10 +473,13 @@ inline void RandomizedRankTracker::ProcessArrival(int site, uint64_t value) {
                      : s.rng.Bernoulli(1.0 / inv_p_);
   if (forward) {
     Upload(site, 2);
+    EmitResidualFrame(site, s.current_leaf, value);
     // A sample of a leaf this very arrival completes would be dropped by
     // the completion prune below before any estimate can read it; charge
-    // the upload but skip the vector churn.
-    if (!completes_leaf) {
+    // the upload but skip the vector churn. (The frame still travels: the
+    // coordinator replica stores it and prunes it on the covering
+    // summary's arrival — same estimator-visible range.)
+    if (!completes_leaf && !crash_replay_) {
       s.idata->residuals.push_back(ResidualSample{s.current_leaf, value});
     }
   }
@@ -601,6 +679,7 @@ void RandomizedRankTracker::FeedRun(int site, std::vector<uint64_t>* run,
       s.tail_skip.ConsumeFailures(skips);
       s.tail_skip.Next(&s.rng);  // skip exhausted: success + redraw
       Upload(site, 2);
+      EmitResidualFrame(site, s.current_leaf, values[pos]);
       s.idata->residuals.push_back(
           ResidualSample{s.current_leaf, values[pos]});
       ++pos;
@@ -801,6 +880,182 @@ double RandomizedRankTracker::EstimateRank(uint64_t value) const {
     }
   }
   return est;
+}
+
+// --- Wire layer / crash recovery -----------------------------------------
+
+void RandomizedRankTracker::EmitSummaryFrame(int site,
+                                             const StoredSummary& stored,
+                                             uint64_t words) {
+  if (tap_ == nullptr) return;
+  sim::wire::Message msg;
+  msg.type = sim::wire::MsgType::kRankSummary;
+  msg.site = site;
+  msg.epoch = coarse_->round();
+  msg.a = stored.first_leaf;
+  msg.b = stored.end_leaf;
+  msg.values = stored.values;
+  msg.segments = stored.segments;
+  msg.paper_words = words;
+  tap_->OnMessage(std::move(msg));
+}
+
+void RandomizedRankTracker::EmitResidualFrame(int site, uint32_t leaf,
+                                              uint64_t value) {
+  if (tap_ == nullptr) return;
+  sim::wire::Message msg;
+  msg.type = sim::wire::MsgType::kRankResidual;
+  msg.site = site;
+  msg.epoch = coarse_->round();
+  msg.a = leaf;
+  msg.b = value;
+  msg.paper_words = 2;
+  tap_->OnMessage(std::move(msg));
+}
+
+void RandomizedRankTracker::set_wire_tap(sim::wire::WireTap* tap) {
+  tap_ = tap;
+  coarse_->set_wire_tap(tap);
+}
+
+bool RandomizedRankTracker::SiteSnapshotReady(int site) const {
+  const SiteState& s = sites_[static_cast<size_t>(site)];
+  // At a chunk boundary the instance is fresh: no partial leaves, no
+  // live nodes, no unpulled ladder data, no armed leaf seed — the site's
+  // whole private state is the round parameters, the coarse counters,
+  // and the RNG/skip streams. `run` holds batch-engine carry that only
+  // exists mid-ArriveBatch; the robust driver feeds scalar arrivals.
+  return s.arrivals_in_chunk == 0 && s.run.empty();
+}
+
+void RandomizedRankTracker::SerializeSiteState(
+    int site, std::vector<uint64_t>* out) const {
+  if (!SiteSnapshotReady(site)) {
+    std::fprintf(stderr,
+                 "RandomizedRankTracker: snapshot of site %d requested "
+                 "mid-chunk\n", site);
+    std::abort();
+  }
+  const SiteState& s = sites_[static_cast<size_t>(site)];
+  uint64_t bits = 0;
+  std::memcpy(&bits, &inv_p_, sizeof(bits));
+  out->push_back(bits);
+  out->push_back(chunk_size_);
+  out->push_back(block_size_);
+  out->push_back(num_leaves_);
+  out->push_back(static_cast<uint64_t>(height_));
+  coarse_->SerializeSite(site, out);
+  out->push_back(s.owned_instances.size() - 1);
+  out->push_back(s.tail_skip.raw_skip());
+  double inv_log = s.tail_skip.raw_inv_log();
+  std::memcpy(&bits, &inv_log, sizeof(bits));
+  out->push_back(bits);
+  uint64_t rng_state[4];
+  s.rng.SaveState(rng_state);
+  for (uint64_t word : rng_state) out->push_back(word);
+}
+
+void RandomizedRankTracker::RestoreSiteState(
+    int site, const std::vector<uint64_t>& blob) {
+  if (blob.size() != 15) {
+    std::fprintf(stderr, "RandomizedRankTracker: bad snapshot blob size\n");
+    std::abort();
+  }
+  const uint64_t* data = blob.data();
+  std::memcpy(&inv_p_, &data[0], sizeof(inv_p_));
+  chunk_size_ = data[1];
+  block_size_ = data[2];
+  num_leaves_ = static_cast<uint32_t>(data[3]);
+  height_ = static_cast<int>(data[4]);
+  coarse_->RestoreSite(site, data + 5);
+  size_t instance_index = static_cast<size_t>(data[8]);
+  SiteState& s = sites_[static_cast<size_t>(site)];
+  double inv_log;
+  std::memcpy(&inv_log, &data[10], sizeof(inv_log));
+  s.tail_skip.RestoreRaw(data[9], inv_log);
+  s.rng.RestoreState(data + 11);
+  // Rebuild the (empty-at-snapshot) derived state for the restored
+  // round's tree shape.
+  s.arrivals_in_chunk = 0;
+  s.arrivals_in_leaf = 0;
+  s.current_leaf = 0;
+  size_t levels = static_cast<size_t>(height_) + 1;
+  s.nodes.clear();
+  s.nodes.resize(levels);
+  s.pool.clear();
+  s.pool.resize(levels);
+  s.nodes_ready = false;
+  s.pull_slack = 0;
+  s.leaf_seed_armed = false;
+  s.ladder.Reset(levels);
+  s.run.clear();
+  if (instance_index >= s.owned_instances.size()) {
+    std::fprintf(stderr,
+                 "RandomizedRankTracker: snapshot instance index out of "
+                 "range\n");
+    std::abort();
+  }
+  replay_cursor_ = instance_index;
+  s.idata = &s.owned_instances[instance_index];
+}
+
+void RandomizedRankTracker::BeginCrashReplay(int site) {
+  std::memcpy(&replay_saved_inv_p_bits_, &inv_p_,
+              sizeof(replay_saved_inv_p_bits_));
+  replay_saved_chunk_size_ = chunk_size_;
+  replay_saved_block_size_ = block_size_;
+  replay_saved_num_leaves_ = num_leaves_;
+  replay_saved_height_ = height_;
+  crash_replay_ = true;
+  replay_site_ = site;
+  replay_mid_n_bar_ = nullptr;
+}
+
+void RandomizedRankTracker::EndCrashReplay() {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &inv_p_, sizeof(bits));
+  if (bits != replay_saved_inv_p_bits_ ||
+      chunk_size_ != replay_saved_chunk_size_ ||
+      block_size_ != replay_saved_block_size_ ||
+      num_leaves_ != replay_saved_num_leaves_ ||
+      height_ != replay_saved_height_) {
+    std::fprintf(stderr,
+                 "RandomizedRankTracker: crash replay did not restore the "
+                 "round parameters\n");
+    std::abort();
+  }
+  SiteState& s = sites_[static_cast<size_t>(replay_site_)];
+  if (replay_cursor_ + 1 != s.owned_instances.size() ||
+      s.idata != &s.owned_instances[replay_cursor_]) {
+    std::fprintf(stderr,
+                 "RandomizedRankTracker: crash replay instance cursor out "
+                 "of step\n");
+    std::abort();
+  }
+  crash_replay_ = false;
+  replay_site_ = -1;
+}
+
+void RandomizedRankTracker::ReplayCrashArrive(
+    int site, uint64_t value, const uint64_t* mid_ritual_n_bar) {
+  replay_mid_n_bar_ = mid_ritual_n_bar;
+  ProcessArrival(site, value);
+  if (replay_mid_n_bar_ != nullptr) {
+    std::fprintf(stderr,
+                 "RandomizedRankTracker: journaled mid-arrival broadcast "
+                 "was not consumed\n");
+    std::abort();
+  }
+}
+
+void RandomizedRankTracker::ReplayCrashRitual(int site, uint64_t n_bar) {
+  // Per-site half of OnBroadcast: new round parameters, fresh instance
+  // (cursor-advancing during replay), skip redraw — identical RNG draws.
+  // The coordinator half (round counter, broadcast charge, other sites'
+  // restarts) already happened in the pre-crash execution.
+  RecomputeRoundParams(n_bar);
+  StartFreshInstance(&sites_[static_cast<size_t>(site)]);
+  UpdateSpace(site);
 }
 
 }  // namespace rank

@@ -53,6 +53,7 @@
 #include "disttrack/common/status.h"
 #include "disttrack/count/coarse_tracker.h"
 #include "disttrack/sim/protocol.h"
+#include "disttrack/sim/wire.h"
 #include "disttrack/summaries/compactor_summary.h"
 #include "disttrack/summaries/run_ladder.h"
 
@@ -148,6 +149,38 @@ class RandomizedRankTracker : public sim::RankTrackerInterface,
 
   /// Leaf block size b of the current round.
   uint64_t block_size() const { return block_size_; }
+
+  // --- Wire layer / crash recovery (sim/robust_cluster.h) ----------------
+  // Mirrors the count tracker's API: a tap emits every metered message
+  // (coarse reports, node-summary exports, tail-channel residual
+  // forwards, broadcasts) as a typed wire::Message; site snapshots
+  // capture the round parameters and the RNG/skip streams; the
+  // ReplayCrash* calls re-run lost arrivals with every coordinator-side
+  // effect (meter, instance storage) suppressed while frames are
+  // re-emitted with identical payloads.
+
+  void set_wire_tap(sim::wire::WireTap* tap);
+
+  /// Rank snapshots are only consistent at chunk boundaries, where the
+  /// site holds no partially built tree (nodes and ladder empty, leaf
+  /// seed unarmed) and its whole private state is the round parameters
+  /// plus the coarse counters and the RNG/skip streams. The robust
+  /// driver polls until this returns true.
+  bool SiteSnapshotReady(int site) const;
+
+  void SerializeSiteState(int site, std::vector<uint64_t>* out) const;
+  void RestoreSiteState(int site, const std::vector<uint64_t>& blob);
+
+  void BeginCrashReplay(int site);
+  void EndCrashReplay();
+
+  /// Re-delivers one lost arrival. `mid_ritual_n_bar` non-null iff the
+  /// arrival's coarse report triggered a broadcast in the original run.
+  void ReplayCrashArrive(int site, uint64_t value,
+                         const uint64_t* mid_ritual_n_bar);
+
+  /// Per-site half of a round transition another site triggered.
+  void ReplayCrashRitual(int site, uint64_t n_bar);
 
  private:
   // A node summary shipped to the coordinator: the compactor's levels as
@@ -284,6 +317,9 @@ class RandomizedRankTracker : public sim::RankTrackerInterface,
                  uint32_t end_leaf);
   double LevelEps(int level) const;
   void UpdateSpace(int site);
+  void EmitSummaryFrame(int site, const StoredSummary& stored,
+                        uint64_t words);
+  void EmitResidualFrame(int site, uint32_t leaf, uint64_t value);
   static double SummaryRankBelow(const StoredSummary& summary, uint64_t x);
 
   // --- Sharded replay (sim::KeyedShardIngest) ----------------------------
@@ -315,6 +351,22 @@ class RandomizedRankTracker : public sim::RankTrackerInterface,
   std::vector<SiteState> sites_;
   std::vector<ShardSink> shard_sinks_;
   bool shard_mode_ = false;
+  sim::wire::WireTap* tap_ = nullptr;
+
+  // Crash-replay bookkeeping (see BeginCrashReplay). The cursor walks
+  // the crashed site's pre-existing owned_instances as the replay
+  // re-creates them — replayed StartFreshInstance calls advance it
+  // instead of appending, so the coordinator-side instance storage is
+  // never duplicated.
+  bool crash_replay_ = false;
+  int replay_site_ = -1;
+  size_t replay_cursor_ = 0;
+  const uint64_t* replay_mid_n_bar_ = nullptr;
+  uint64_t replay_saved_inv_p_bits_ = 0;
+  uint64_t replay_saved_chunk_size_ = 0;
+  uint64_t replay_saved_block_size_ = 0;
+  uint32_t replay_saved_num_leaves_ = 0;
+  int replay_saved_height_ = 0;
 
   // Round parameters.
   double inv_p_ = 1.0;

@@ -1,0 +1,158 @@
+#include "disttrack/sim/transport.h"
+
+#include <algorithm>
+
+namespace disttrack {
+namespace sim {
+
+FaultPlan FaultPlan::FromSeed(uint64_t seed, uint64_t total_arrivals,
+                              int num_sites) {
+  FaultPlan plan;
+  plan.seed = seed;
+  Rng rng(seed ^ 0xFA0175EEDull);
+  plan.drop_rate = 0.30 * rng.NextDouble();
+  plan.duplicate_rate = 0.25 * rng.NextDouble();
+  plan.reorder_rate = 0.40 * rng.NextDouble();
+  plan.max_delay_ticks = 1 + static_cast<int>(rng.UniformU64(4));
+  plan.snapshot_every = 24 + rng.UniformU64(104);
+
+  // 1-2 site crashes in the middle half of the workload, where rounds are
+  // long enough that a crash almost surely lands mid-epoch.
+  if (total_arrivals >= 8 && num_sites > 0) {
+    uint64_t lo = total_arrivals / 4;
+    uint64_t hi = (3 * total_arrivals) / 4;
+    int crashes = 1 + static_cast<int>(rng.UniformU64(2));
+    for (int i = 0; i < crashes; ++i) {
+      SiteCrash crash;
+      crash.global_arrival = rng.UniformRange(lo, hi);
+      crash.site = static_cast<int>(rng.UniformU64(
+          static_cast<uint64_t>(num_sites)));
+      plan.site_crashes.push_back(crash);
+    }
+    std::sort(plan.site_crashes.begin(), plan.site_crashes.end(),
+              [](const SiteCrash& a, const SiteCrash& b) {
+                return a.global_arrival < b.global_arrival;
+              });
+    if (rng.Bernoulli(0.5)) {
+      plan.coordinator_restarts.push_back(rng.UniformRange(lo, hi));
+    }
+  }
+  return plan;
+}
+
+FaultyLink::FaultyLink(const FaultPlan* plan, uint64_t link_id)
+    : plan_(plan), rng_(plan->seed ^ (0x9E3779B97F4A7C15ull * (link_id + 1))) {}
+
+void FaultyLink::Enqueue(std::vector<uint8_t> frame, uint64_t due) {
+  InFlight inflight;
+  inflight.frame = std::move(frame);
+  inflight.due = due;
+  inflight.order = next_order_++;
+  queue_.push_back(std::move(inflight));
+}
+
+uint64_t FaultyLink::Send(std::vector<uint8_t> frame, uint64_t now) {
+  uint64_t size = frame.size();
+  bytes_offered_ += size;
+  // Draw the full decision tuple unconditionally so the fault stream
+  // consumed per frame is fixed — decisions for later frames never depend
+  // on earlier outcomes, only on their position in the stream.
+  bool drop = rng_.Bernoulli(plan_->drop_rate);
+  bool dup = rng_.Bernoulli(plan_->duplicate_rate);
+  bool late = rng_.Bernoulli(plan_->reorder_rate);
+  uint64_t extra =
+      plan_->max_delay_ticks > 0
+          ? 1 + rng_.UniformU64(static_cast<uint64_t>(plan_->max_delay_ticks))
+          : 1;
+  uint64_t due = now + (late ? 1 + extra : 1);
+
+  uint64_t duplicate_bytes = 0;
+  if (!drop) {
+    if (dup) {
+      bytes_offered_ += size;
+      duplicate_bytes = size;
+      Enqueue(frame, due + 1);
+    }
+    Enqueue(std::move(frame), due);
+  } else if (dup) {
+    // The duplicate of a dropped frame still travels (independent copy).
+    bytes_offered_ += size;
+    duplicate_bytes = size;
+    Enqueue(std::move(frame), due + 1);
+  }
+  return duplicate_bytes;
+}
+
+bool FaultyLink::Deliver(uint64_t now, std::vector<std::vector<uint8_t>>* out) {
+  if (queue_.empty()) return false;
+  std::stable_sort(queue_.begin(), queue_.end(),
+                   [](const InFlight& a, const InFlight& b) {
+                     if (a.due != b.due) return a.due < b.due;
+                     return a.order < b.order;
+                   });
+  size_t taken = 0;
+  while (taken < queue_.size() && queue_[taken].due <= now) ++taken;
+  if (taken == 0) return false;
+  for (size_t i = 0; i < taken; ++i) {
+    out->push_back(std::move(queue_[i].frame));
+  }
+  queue_.erase(queue_.begin(), queue_.begin() + static_cast<ptrdiff_t>(taken));
+  return true;
+}
+
+uint64_t ReliableSender::Stage(const wire::Message& msg, uint64_t now,
+                               std::vector<uint8_t>* frame_out) {
+  uint64_t seq = next_seq_++;
+  frame_out->clear();
+  wire::EncodeFrame(msg, seq, frame_out);
+  Pending pending;
+  pending.frame = *frame_out;
+  pending.attempts = 0;
+  pending.next_retransmit = now + backoff_.DelayFor(0);
+  unacked_.emplace(seq, std::move(pending));
+  return seq;
+}
+
+void ReliableSender::Ack(uint64_t cum_seq) {
+  unacked_.erase(unacked_.begin(), unacked_.upper_bound(cum_seq));
+}
+
+uint64_t ReliableSender::DueRetransmits(uint64_t now,
+                                        std::vector<std::vector<uint8_t>>* out) {
+  uint64_t bytes = 0;
+  for (auto& entry : unacked_) {
+    Pending& pending = entry.second;
+    if (pending.next_retransmit > now) continue;
+    out->push_back(pending.frame);
+    bytes += pending.frame.size();
+    ++retransmissions_;
+    ++pending.attempts;
+    pending.next_retransmit = now + backoff_.DelayFor(pending.attempts);
+  }
+  return bytes;
+}
+
+bool ReliableReceiver::Accept(uint64_t seq, wire::Message msg,
+                              std::vector<wire::Message>* deliver) {
+  if (seq < next_expected_) {
+    ++duplicates_;
+    return false;
+  }
+  if (seq > next_expected_) {
+    // Reorder buffer; a second copy of a buffered seq is also a duplicate.
+    if (!reorder_.emplace(seq, std::move(msg)).second) ++duplicates_;
+    return true;
+  }
+  deliver->push_back(std::move(msg));
+  ++next_expected_;
+  auto it = reorder_.begin();
+  while (it != reorder_.end() && it->first == next_expected_) {
+    deliver->push_back(std::move(it->second));
+    ++next_expected_;
+    it = reorder_.erase(it);
+  }
+  return true;
+}
+
+}  // namespace sim
+}  // namespace disttrack
