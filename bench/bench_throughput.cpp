@@ -29,11 +29,13 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "disttrack/core/tracking.h"
 #include "disttrack/frequency/randomized_frequency.h"
 #include "disttrack/sim/cluster.h"
+#include "disttrack/sim/online.h"
 #include "disttrack/sim/parallel_cluster.h"
 #include "disttrack/stream/workload.h"
 
@@ -51,7 +53,19 @@ struct BenchEntry {
   double seconds = 0;
   double elements_per_sec = 0;
   double final_rel_error = 0;  // |estimate - truth| / n at the end
+  // Worker-thread count of the engine under test; 0 for the serial
+  // paths. Rows with threads > 1 measure thread scaling, which is only
+  // comparable between machines with the same core count — --check
+  // skips them when the recorded core count differs (see Cores()).
+  int threads = 0;
 };
+
+// Physical parallelism of this machine, stamped into every run row so a
+// later --check knows whether the thread-scaling rows are comparable.
+int Cores() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
 
 double Now() {
   return std::chrono::duration<double>(
@@ -204,17 +218,19 @@ void WriteJson(const std::vector<BenchEntry>& entries,
     std::fprintf(stderr, "cannot open %s\n", json_path);
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"bench\": \"throughput\",\n  \"runs\": [\n");
+  std::fprintf(f, "{\n  \"bench\": \"throughput\",\n  \"cores\": %d,\n"
+               "  \"runs\": [\n", Cores());
   for (size_t i = 0; i < entries.size(); ++i) {
     const BenchEntry& e = entries[i];
     std::fprintf(
         f,
         "    {\"problem\": \"%s\", \"path\": \"%s\", \"workload\": \"%s\", "
         "\"k\": %d, \"n\": %llu, \"eps\": %g, \"seconds\": %.6f, "
-        "\"elements_per_sec\": %.1f, \"final_rel_error\": %.8f}%s\n",
+        "\"elements_per_sec\": %.1f, \"final_rel_error\": %.8f, "
+        "\"threads\": %d, \"cores\": %d}%s\n",
         e.problem.c_str(), e.path.c_str(), e.workload.c_str(), e.k,
         static_cast<unsigned long long>(e.n), e.eps, e.seconds,
-        e.elements_per_sec, e.final_rel_error,
+        e.elements_per_sec, e.final_rel_error, e.threads, Cores(),
         i + 1 < entries.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"count_ab\": [\n");
@@ -273,10 +289,13 @@ struct BaselineEntry {
   int k = 0;
   unsigned long long n = 0;
   double elements_per_sec = 0;
+  int threads = 0;  // 0 on serial rows and pre-threads baselines
+  int cores = 0;    // machine the baseline was recorded on; 0 = unknown
 };
 
 // Parses the `runs` lines of a BENCH_throughput.json produced by
 // WriteJson (one object per line; sscanf on our own fixed format).
+// Rows recorded before the threads/cores fields parse with both at 0.
 std::vector<BaselineEntry> ReadBaseline(const char* json_path) {
   std::vector<BaselineEntry> out;
   std::FILE* f = std::fopen(json_path, "r");
@@ -287,14 +306,21 @@ std::vector<BaselineEntry> ReadBaseline(const char* json_path) {
   char line[512];
   while (std::fgets(line, sizeof(line), f) != nullptr) {
     BaselineEntry e;
-    double eps = 0, seconds = 0;
-    if (std::sscanf(line,
-                    " {\"problem\": \"%15[^\"]\", \"path\": \"%15[^\"]\", "
-                    "\"workload\": \"%15[^\"]\", \"k\": %d, \"n\": %llu, "
-                    "\"eps\": %lf, \"seconds\": %lf, "
-                    "\"elements_per_sec\": %lf",
-                    e.problem, e.path, e.workload, &e.k, &e.n, &eps,
-                    &seconds, &e.elements_per_sec) == 8) {
+    double eps = 0, seconds = 0, rel = 0;
+    int got = std::sscanf(
+        line,
+        " {\"problem\": \"%15[^\"]\", \"path\": \"%15[^\"]\", "
+        "\"workload\": \"%15[^\"]\", \"k\": %d, \"n\": %llu, "
+        "\"eps\": %lf, \"seconds\": %lf, "
+        "\"elements_per_sec\": %lf, \"final_rel_error\": %lf, "
+        "\"threads\": %d, \"cores\": %d",
+        e.problem, e.path, e.workload, &e.k, &e.n, &eps, &seconds,
+        &e.elements_per_sec, &rel, &e.threads, &e.cores);
+    if (got >= 8) {
+      if (got < 11) {
+        e.threads = 0;
+        e.cores = 0;
+      }
       out.push_back(e);
     }
   }
@@ -340,6 +366,16 @@ int CheckAgainstBaseline(const std::vector<BenchEntry>& entries,
       }
     }
     if (match == nullptr) continue;
+    // Thread-scaling rows only mean something on the machine shape they
+    // were recorded on: comparing a 4-thread row from an 8-core recorder
+    // against a 1-core runner gates on the hardware, not the code.
+    if (match->threads > 1 && match->cores != 0 && match->cores != Cores()) {
+      std::printf("check  %-10s %-14s %-13s k=%-3d skipped (baseline on "
+                  "%d cores, this machine has %d)\n",
+                  e.problem.c_str(), e.path.c_str(), e.workload.c_str(), e.k,
+                  match->cores, Cores());
+      continue;
+    }
     ++compared;
     double ratio = match->elements_per_sec > 0
                        ? e.elements_per_sec / match->elements_per_sec
@@ -528,6 +564,37 @@ int main(int argc, char** argv) {
                                      static_cast<double>(last.n);
               return std::pair<double, double>(secs, rel);
             });
+        e.threads = threads;
+        PrintEntry(e);
+        entries.push_back(e);
+      }
+      // Online ingest rows: the SAME stream pushed live through
+      // sim::OnlineCountSession — no plan pass, broadcast schedule
+      // discovered by speculation + rollback — sampled at the same
+      // checkpoint boundaries as the replay rows.
+      for (int threads : {1, 4}) {
+        sim::ParallelCluster cluster(threads);
+        std::vector<uint64_t> bounds = sim::CheckpointCounts(n_count, 1.5);
+        BenchEntry e = TimeConfig(
+            "count", "online_t" + std::to_string(threads), sched_name, k,
+            n_count, eps, reps,
+            [&] { return MakeCount(Options(k, eps, true)); },
+            [&](sim::CountTrackerInterface* t) {
+              double t0 = Now();
+              sim::OnlineCountSession session(&cluster, t);
+              uint64_t pos = 0;
+              double est = 0;
+              for (uint64_t b : bounds) {
+                session.PushSites(sites.data() + pos, b - pos);
+                pos = b;
+                est = t->EstimateCount();
+              }
+              double secs = Now() - t0;
+              double rel = std::abs(est - static_cast<double>(n_count)) /
+                           static_cast<double>(n_count);
+              return std::pair<double, double>(secs, rel);
+            });
+        e.threads = threads;
         PrintEntry(e);
         entries.push_back(e);
       }
@@ -592,6 +659,39 @@ int main(int argc, char** argv) {
                                      static_cast<double>(n_freq);
               return std::pair<double, double>(secs, rel);
             });
+        e.threads = threads;
+        PrintEntry(e);
+        entries.push_back(e);
+      }
+      // Online ingest rows: 64K live pushes (PushBoundaries, no
+      // checkpoint cuts) through the rolling certified epoch, one Sync
+      // at the end — the streaming analogue of the cluster rows above.
+      for (int threads : {1, 4}) {
+        sim::ParallelCluster cluster(threads);
+        std::vector<uint64_t> bounds =
+            sim::PushBoundaries(n_freq, 1 << 16, {});
+        BenchEntry e = TimeConfig(
+            "frequency", "online_t" + std::to_string(threads), dist_name, k,
+            n_freq, eps, reps,
+            [&] { return MakeFrequency(Options(k, eps, true)); },
+            [&](sim::FrequencyTrackerInterface* t) {
+              double t0 = Now();
+              sim::OnlineKeyedSession session(&cluster, t);
+              uint64_t pos = 0;
+              for (uint64_t b : bounds) {
+                session.Push(w.data() + pos, b - pos);
+                pos = b;
+              }
+              session.Sync();
+              double secs = Now() - t0;
+              double rel = n_freq == 0
+                               ? 0.0
+                               : std::abs(t->EstimateFrequency(0) -
+                                          static_cast<double>(truth)) /
+                                     static_cast<double>(n_freq);
+              return std::pair<double, double>(secs, rel);
+            });
+        e.threads = threads;
         PrintEntry(e);
         entries.push_back(e);
       }
@@ -670,9 +770,93 @@ int main(int argc, char** argv) {
                                      static_cast<double>(n_rank);
               return std::pair<double, double>(secs, rel);
             });
+        e.threads = threads;
         PrintEntry(e);
         entries.push_back(e);
       }
+      // Online ingest rows (same 64K live-push shape as frequency).
+      for (int threads : {1, 4}) {
+        sim::ParallelCluster cluster(threads);
+        std::vector<uint64_t> bounds =
+            sim::PushBoundaries(n_rank, 1 << 16, {});
+        BenchEntry e = TimeConfig(
+            "rank", "online_t" + std::to_string(threads), dist_name, k,
+            n_rank, eps, reps,
+            [&] { return MakeRank(Options(k, eps, true)); },
+            [&](sim::RankTrackerInterface* t) {
+              double t0 = Now();
+              sim::OnlineKeyedSession session(&cluster, t);
+              uint64_t pos = 0;
+              for (uint64_t b : bounds) {
+                session.Push(w.data() + pos, b - pos);
+                pos = b;
+              }
+              session.Sync();
+              double secs = Now() - t0;
+              double rel = n_rank == 0
+                               ? 0.0
+                               : std::abs(t->EstimateRank(query) -
+                                          static_cast<double>(truth)) /
+                                     static_cast<double>(n_rank);
+              return std::pair<double, double>(secs, rel);
+            });
+        e.threads = threads;
+        PrintEntry(e);
+        entries.push_back(e);
+      }
+    }
+  }
+
+  // ---- frequency, table-bound regime: at eps = 5e-4, k = 32 the
+  // sticky-counter working set (~ c/(eps sqrt(k)) entries per site, 32
+  // bytes each across k sites ~ 1.4 MB) outgrows the 1 MiB cache bound,
+  // so the eps-aware auto gate turns grouped delivery ON — the regime
+  // where site-contiguous spans pay for the permutation. The pair of
+  // rows records both engines so the gate's decision is auditable.
+  {
+    const int k_tb = 32;
+    const double eps_tb = 5e-4;
+    sim::Workload w = stream::MakeFrequencyWorkload(
+        k_tb, n_freq, stream::SiteSchedule::kUniformRandom, 1 << 20, 0.0,
+        17);
+    uint64_t truth = stream::ExactFrequency(w, 0);
+    for (bool grouped : {false, true}) {
+      BenchEntry e = TimeConfig(
+          "frequency", grouped ? "grouped_batched" : "skip_batched",
+          "table_bound", k_tb, n_freq, eps_tb, reps,
+          [&]() -> std::unique_ptr<sim::FrequencyTrackerInterface> {
+            frequency::RandomizedFrequencyOptions o;
+            o.num_sites = k_tb;
+            o.epsilon = eps_tb;
+            o.seed = 20260728;
+            o.auto_site_grouping = grouped;
+            auto t =
+                std::make_unique<frequency::RandomizedFrequencyTracker>(o);
+            if (t->grouped_delivery_enabled() != grouped) {
+              std::fprintf(stderr,
+                           "table_bound: auto gate decided %d, expected %d "
+                           "(eps=%g k=%d)\n",
+                           t->grouped_delivery_enabled() ? 1 : 0,
+                           grouped ? 1 : 0, eps_tb, k_tb);
+              std::exit(1);
+            }
+            return t;
+          },
+          [&](sim::FrequencyTrackerInterface* t) {
+            double secs = DeliverTimed(
+                t, w, true,
+                [](sim::FrequencyTrackerInterface* ft, const sim::Arrival& a) {
+                  ft->Arrive(a.site, a.key);
+                });
+            double rel = n_freq == 0
+                             ? 0.0
+                             : std::abs(t->EstimateFrequency(0) -
+                                        static_cast<double>(truth)) /
+                                   static_cast<double>(n_freq);
+            return std::pair<double, double>(secs, rel);
+          });
+      PrintEntry(e);
+      entries.push_back(e);
     }
   }
 

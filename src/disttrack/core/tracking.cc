@@ -131,12 +131,14 @@ Status MakeOneFrequency(Algorithm algorithm, const TrackerOptions& options,
       o.virtual_site_split = options.virtual_site_split;
       o.use_skip_sampling = options.use_skip_sampling;
       o.use_flat_counters = options.use_flat_counters;
-      // use_site_grouping is deliberately NOT plumbed here: the grouped
-      // frequency engine is bit-identical but measured slower at the
-      // cache-resident table sizes the umbrella configurations produce
-      // (see frequency::RandomizedFrequencyOptions::use_site_grouping);
-      // reach it through the frequency-specific options when the
-      // deployment's per-site tables outgrow the cache.
+      // The umbrella flag feeds the eps-aware AUTO gate rather than
+      // forcing the grouped engine: grouped frequency delivery measures
+      // slower at cache-resident table sizes and faster once the
+      // counter working set outgrows the cache, and the gate decides
+      // which regime (ε, k, c) is in at construction (see
+      // frequency::RandomizedFrequencyOptions::auto_site_grouping).
+      // Force it via the frequency-specific options for A/B runs.
+      o.auto_site_grouping = options.use_site_grouping;
       if (Status s = o.Validate(); !s.ok()) return s;
       *out = std::make_unique<frequency::RandomizedFrequencyTracker>(o);
       return Status::OK();

@@ -91,11 +91,12 @@ struct TrackerOptions {
   /// communication word, round, and split count is bit-identical to the
   /// event-countdown engines (pinned by tests/batch_equivalence_test.cc);
   /// chunks that may broadcast fall back to those engines. False keeps
-  /// the countdown engines everywhere (A/B benchmarking). The frequency
-  /// tracker's grouped engine exists too but is opt-in through
-  /// frequency::RandomizedFrequencyOptions — at the per-site table sizes
-  /// these options produce it measures slightly slower than its
-  /// countdown engine (documented there), so the umbrella leaves it off.
+  /// the countdown engines everywhere (A/B benchmarking). For the
+  /// frequency tracker this flag arms the eps-aware AUTO gate instead of
+  /// forcing the engine: grouped delivery only wins once the sticky-
+  /// counter working set outgrows cache residency, which is a static
+  /// function of (ε, k, c), so the tracker decides at construction (see
+  /// frequency::RandomizedFrequencyOptions::auto_site_grouping).
   bool use_site_grouping = true;
 
   Status Validate() const;

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "disttrack/sim/protocol.h"
+
 namespace disttrack {
 namespace count {
 
@@ -125,6 +127,65 @@ void CoarseTracker::ReportAndMaybeBroadcast(int site) {
     }
     for (auto& obs : observers_) obs(round_, n_bar_);
   }
+}
+
+void EpochCertifier::Reset(const CoarseTracker& tracker) {
+  sites_.resize(tracker.local_.size());
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    const CoarseTracker::SiteState& s = tracker.local_[i];
+    sites_[i] = Projection{s.count, s.next_report, s.last_reported};
+  }
+  n_prime_ = tracker.n_prime_;
+  limit_ = 2 * tracker.n_bar_ > 1 ? 2 * tracker.n_bar_ : 1;
+}
+
+bool EpochCertifier::ExtendByHistogram(const uint32_t* histogram) {
+  // Pass 1: project the chunk's final n' (per-site totals alone decide
+  // it, see the header). Bail without touching anything on refusal.
+  uint64_t projected = n_prime_;
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    uint64_t h = histogram[i];
+    if (h == 0) continue;
+    const Projection& s = sites_[i];
+    uint64_t final_count = s.count + h;
+    if (final_count >= s.next_report) {
+      uint64_t last_report =
+          uint64_t{1} << (63 - __builtin_clzll(final_count));
+      projected += last_report - s.last_reported;
+      if (projected >= limit_) return false;
+    }
+  }
+  if (projected >= limit_) return false;
+  // Pass 2: commit the projections.
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    uint64_t h = histogram[i];
+    if (h == 0) continue;
+    Projection& s = sites_[i];
+    s.count += h;
+    if (s.count >= s.next_report) {
+      s.last_reported = uint64_t{1} << (63 - __builtin_clzll(s.count));
+      s.next_report = s.last_reported * 2;
+    }
+  }
+  n_prime_ = projected;
+  return true;
+}
+
+size_t EpochCertifier::CommitUntilBroadcast(const sim::Arrival* arrivals,
+                                            size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    Projection& s = sites_[static_cast<size_t>(arrivals[i].site)];
+    uint64_t next = s.count + 1;
+    if (next >= s.next_report) {
+      uint64_t delta = next - s.last_reported;
+      if (n_prime_ + delta >= limit_) return i;  // `i` not committed
+      n_prime_ += delta;
+      s.last_reported = next;
+      s.next_report = next * 2;
+    }
+    s.count = next;
+  }
+  return count;
 }
 
 }  // namespace count

@@ -20,7 +20,13 @@
 #include "disttrack/sim/wire.h"
 
 namespace disttrack {
+namespace sim {
+struct Arrival;
+}  // namespace sim
+
 namespace count {
+
+class EpochCertifier;
 
 /// Maintains n̄, a factor-4 approximation of n, with O(k logN) traffic.
 class CoarseTracker {
@@ -155,6 +161,8 @@ class CoarseTracker {
   int num_sites() const { return static_cast<int>(local_.size()); }
 
  private:
+  friend class EpochCertifier;
+
   struct SiteState {
     uint64_t count = 0;          // exact local count n_i
     uint64_t next_report = 1;    // report when count reaches this (doubles)
@@ -172,6 +180,59 @@ class CoarseTracker {
   uint64_t n_prime_ = 0;
   uint64_t n_bar_ = 0;
   uint64_t round_ = 0;
+};
+
+/// Rolling broadcast-safety certifier: the online generalization of
+/// BatchCannotBroadcast for streams with no workload pre-knowledge
+/// (sim/online.h). Seeded from the live tracker, it mirrors each site's
+/// projected (count, next_report, last_reported) triple and the projected
+/// n' over every arrival certified so far, and answers — exactly —
+/// whether one more chunk can extend the current broadcast-free epoch.
+/// n̄ (and with it the broadcast limit) is frozen while the epoch is open
+/// by construction: an epoch ends, and the certifier is re-seeded, at
+/// every broadcast.
+class EpochCertifier {
+ public:
+  /// Seeds projections from `tracker`'s live site state. Every arrival
+  /// certified before the Reset must already have been delivered (or be
+  /// sitting, fully ingested, in shard sinks whose coarse deltas the
+  /// projections anticipated — the fold cannot change them). O(k).
+  void Reset(const CoarseTracker& tracker);
+
+  /// Exact epoch-extension test: true iff delivering histogram[i] further
+  /// arrivals to site i — on top of everything certified so far — still
+  /// cannot trigger a broadcast under any interleaving; the projections
+  /// then advance past the chunk. False leaves the certifier untouched.
+  /// The exactness argument is BatchCannotBroadcast's, applied to the
+  /// projected state: reports fire at fixed local counts, so the chunk's
+  /// report set depends only on per-site totals, and n' is nondecreasing,
+  /// so the final total reaching the limit is equivalent to some prefix
+  /// reaching it.
+  bool ExtendByHistogram(const uint32_t* histogram);
+
+  /// Scan mode for a chunk ExtendByHistogram refused: walks the arrivals
+  /// in stream order on the projected state, committing reports exactly
+  /// as the serial coordinator would, and returns the index of the first
+  /// arrival whose report trips the broadcast condition. That arrival is
+  /// NOT committed — the caller delivers it through the serial Arrive()
+  /// path (where the broadcast actually fires) and then Resets. Returns
+  /// `count` if no broadcast fires (cannot happen right after a refusal).
+  size_t CommitUntilBroadcast(const sim::Arrival* arrivals, size_t count);
+
+  int num_sites() const { return static_cast<int>(sites_.size()); }
+
+  /// Projected n' over everything certified so far (diagnostics/tests).
+  uint64_t projected_n_prime() const { return n_prime_; }
+
+ private:
+  struct Projection {
+    uint64_t count = 0;
+    uint64_t next_report = 1;
+    uint64_t last_reported = 0;
+  };
+  std::vector<Projection> sites_;
+  uint64_t n_prime_ = 0;
+  uint64_t limit_ = 1;  // max(1, 2 n̄) at the last Reset
 };
 
 }  // namespace count

@@ -523,6 +523,42 @@ void RandomizedCountTracker::ShardEpochEnd() {
   }
 }
 
+bool RandomizedCountTracker::ShardSnapshotSite(int site,
+                                               std::vector<uint64_t>* out) {
+  out->clear();
+  SerializeSiteState(site, out);
+  return true;
+}
+
+void RandomizedCountTracker::ShardRestoreSite(
+    int site, const std::vector<uint64_t>& blob) {
+  // The blob also reinstalls the round globals (1/p); no broadcast can
+  // have fired between snapshot and restore (the trial fold refused), so
+  // they are unchanged and the reinstall is a no-op.
+  RestoreSiteState(site, blob);
+}
+
+bool RandomizedCountTracker::ShardTryEpochEnd() {
+  uint64_t projected = coarse_->n_prime();
+  for (const ShardSink& sink : shard_sinks_) {
+    for (uint64_t delta : sink.coarse_deltas) projected += delta;
+  }
+  uint64_t limit = std::max<uint64_t>(1, 2 * coarse_->n_bar());
+  if (projected >= limit) return false;
+  ShardEpochEnd();
+  return true;
+}
+
+void RandomizedCountTracker::ShardAbortEpoch(uint64_t arrivals) {
+  n_ -= arrivals;
+  for (ShardSink& sink : shard_sinks_) {
+    sink.coarse_deltas.clear();
+    sink.reported_sum_delta = 0;
+    sink.reported_count_delta = 0;
+    sink.report_messages = 0;
+  }
+}
+
 double RandomizedCountTracker::EstimateCount() const {
   double inv_p = static_cast<double>(inv_p_);
   if (options_.naive_boundary_estimator) {

@@ -164,6 +164,19 @@ class RandomizedCountTracker : public sim::CountTrackerInterface,
   void ShardArriveRun(int site, uint64_t count) override;
   void ShardEpochEnd() override;
 
+  // Speculative online surface (sim::OnlineCountSession). Snapshots reuse
+  // the crash-recovery site serialization — a count site's full private
+  // state is always capturable; the trial fold pre-checks the summed
+  // deferred coarse deltas against the broadcast limit (exact, see
+  // shard.h) before running the normal fold.
+  bool ShardOnlineReady() const override {
+    return options_.use_skip_sampling;
+  }
+  bool ShardSnapshotSite(int site, std::vector<uint64_t>* out) override;
+  void ShardRestoreSite(int site, const std::vector<uint64_t>& blob) override;
+  bool ShardTryEpochEnd() override;
+  void ShardAbortEpoch(uint64_t arrivals) override;
+
   // Coordinator messages a site worker buffered during the current shard
   // epoch; folded (and cleared) by ShardEpochEnd.
   struct ShardSink {

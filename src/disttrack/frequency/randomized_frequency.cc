@@ -45,6 +45,23 @@ RandomizedFrequencyTracker::RandomizedFrequencyTracker(
     OnBroadcast(round, n_bar);
   });
   countdown_.Resize(options_.num_sites);
+  // Resolve the grouped-delivery decision (see the options): forced on,
+  // or auto-selected when the projected aggregate counter working set —
+  // k sites × ~c/(ε√k) live entries × one 16-byte slot at ~0.5 load —
+  // cannot stay cache-resident under interleaved delivery. The grouped
+  // engine needs the skip + flat-counter fast paths either way.
+  grouped_enabled_ = options_.use_site_grouping;
+  if (!grouped_enabled_ && options_.auto_site_grouping &&
+      options_.use_skip_sampling && options_.use_flat_counters) {
+    double per_site_entries =
+        options_.confidence_factor /
+        (options_.epsilon * std::sqrt(static_cast<double>(options_.num_sites)));
+    double aggregate_bytes =
+        static_cast<double>(options_.num_sites) * per_site_entries * 32.0;
+    grouped_enabled_ =
+        aggregate_bytes >
+        static_cast<double>(options_.grouped_cache_bound_bytes);
+  }
 }
 
 uint64_t RandomizedFrequencyTracker::InvPFor(uint64_t n_bar) const {
@@ -549,7 +566,7 @@ void RandomizedFrequencyTracker::ArriveBatch(const sim::Arrival* arrivals,
     RunBatch<false>(arrivals, count);
     return;
   }
-  if (!options_.use_site_grouping) {
+  if (!grouped_enabled_) {
     RunBatch<true>(arrivals, count);
     return;
   }

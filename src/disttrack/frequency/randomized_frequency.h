@@ -98,9 +98,28 @@ struct RandomizedFrequencyOptions {
   /// the per-site tables the split threshold allows are small enough to
   /// be cache-resident even interleaved, so the scatter pass buys no
   /// probe locality and costs ~5-10% net (the grouped_batched bench rows
-  /// record the A/B). The engine is bit-identical and fully tested; flip
-  /// it on for deployments whose per-site tables outgrow the cache.
+  /// record the A/B). The engine is bit-identical and fully tested; true
+  /// forces it on regardless of table size (A/B runs).
   bool use_site_grouping = false;
+
+  /// Eps-aware auto gate for the grouped engine (applies only when
+  /// use_site_grouping is false, i.e. not forced). The expected live
+  /// sticky-counter population per site per round is ~c/(ε√k) entries —
+  /// a pure function of (ε, k, c), since the split threshold n̄/k and
+  /// 1/p = ⌊εn̄/(c√k)⌋₂ both scale with n̄ — so whether the k interleaved
+  /// tables fit in cache is decidable at construction. When the
+  /// projected aggregate working set crosses kGroupedCacheBoundBytes the
+  /// grouped engine is selected automatically (that is exactly the
+  /// regime where the scatter pass buys probe locality; the bench's
+  /// table-bound frequency configuration records the win). False
+  /// disables the gate, keeping grouped delivery purely manual.
+  bool auto_site_grouping = true;
+
+  /// Cache-residency bound of the auto gate: aggregate projected counter
+  /// working set (bytes) above which grouped delivery wins. Default 1
+  /// MiB — an L2's worth; the working set must miss per probe before the
+  /// scatter pass pays for itself.
+  size_t grouped_cache_bound_bytes = size_t{1} << 20;
 
   Status Validate() const;
 };
@@ -140,6 +159,11 @@ class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface,
 
   /// Number of virtual-site splits performed so far (diagnostics).
   uint64_t splits() const { return splits_; }
+
+  /// True when batch delivery runs the site-grouped engine — forced via
+  /// use_site_grouping or auto-selected by the eps-aware cache gate
+  /// (diagnostics/tests; resolved once at construction).
+  bool grouped_delivery_enabled() const { return grouped_enabled_; }
 
   // --- Wire layer / crash recovery (sim/robust_cluster.h) ----------------
   // Mirrors the count tracker's API: a tap emits every metered message as
@@ -264,6 +288,9 @@ class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface,
   // order; commutative sums elsewhere), so the driver need not
   // materialize per-site global-index arrays.
   bool wants_global_indices() const override { return false; }
+  // Online ingest support (sim::OnlineKeyedSession certifies rolling
+  // epochs against this tracker's broadcast state).
+  count::CoarseTracker* shard_coarse() override { return coarse_.get(); }
 
   // One deferred coordinator message (shard ingest only; grouped chunks
   // apply effects directly). No serialization key is needed: per-site
@@ -354,6 +381,9 @@ class RandomizedFrequencyTracker : public sim::FrequencyTrackerInterface,
   // abort guard (see OnBroadcast).
   SiteGrouper grouper_;
   bool grouped_chunk_active_ = false;
+  // Resolved grouped-delivery decision (forced || auto gate), fixed at
+  // construction.
+  bool grouped_enabled_ = false;
 };
 
 }  // namespace frequency

@@ -330,6 +330,9 @@ class RandomizedRankTracker : public sim::RankTrackerInterface,
   // All deferred coordinator effects are order-insensitive sums; the
   // driver need not materialize global indices.
   bool wants_global_indices() const override { return false; }
+  // Online ingest support (sim::OnlineKeyedSession certifies rolling
+  // epochs against this tracker's broadcast state).
+  count::CoarseTracker* shard_coarse() override { return coarse_.get(); }
   // Site->coordinator upload: charged to the meter directly on the serial
   // paths, accumulated in the site's sink during shard ingest.
   void Upload(int site, uint64_t words);

@@ -69,6 +69,28 @@ std::vector<uint64_t> CheckpointCounts(uint64_t total,
   return out;
 }
 
+std::vector<uint64_t> PushBoundaries(uint64_t total, uint64_t max_push,
+                                     const std::vector<uint64_t>& checkpoints) {
+  if (max_push == 0) {
+    std::fprintf(stderr, "disttrack: PushBoundaries max_push must be > 0\n");
+    std::abort();
+  }
+  std::vector<uint64_t> out;
+  uint64_t pos = 0;
+  size_t ci = 0;
+  while (pos < total) {
+    while (ci < checkpoints.size() && checkpoints[ci] <= pos) ++ci;
+    uint64_t next = pos + max_push;
+    if (ci < checkpoints.size() && checkpoints[ci] < next) {
+      next = checkpoints[ci];
+    }
+    if (next > total) next = total;
+    out.push_back(next);
+    pos = next;
+  }
+  return out;
+}
+
 std::vector<Checkpoint> ReplayCount(CountTrackerInterface* tracker,
                                     const Workload& workload,
                                     double checkpoint_factor) {

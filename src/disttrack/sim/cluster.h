@@ -40,6 +40,17 @@ struct Checkpoint {
 std::vector<uint64_t> CheckpointCounts(uint64_t total,
                                        double checkpoint_factor);
 
+/// Push schedule for the online sessions (sim/online.h): the ascending
+/// cut positions splitting [0, total) into pushes of at most `max_push`
+/// arrivals that ALSO cut at every entry of `checkpoints` (ascending,
+/// e.g. CheckpointCounts output). Cutting at the checkpoints keeps
+/// estimate reads between pushes and lines the rank tracker's per-site
+/// run cuts up with the serial checkpoint replay, so online-vs-replay
+/// comparisons stay bit-identical (see sim/online.h). The final entry is
+/// always `total`; empty when total == 0. Aborts if max_push == 0.
+std::vector<uint64_t> PushBoundaries(uint64_t total, uint64_t max_push,
+                                     const std::vector<uint64_t>& checkpoints);
+
 /// Replays a count workload, sampling EstimateCount() every time n grows by
 /// `checkpoint_factor` (>1) past the previous checkpoint, and once at the
 /// end. Returns the checkpoints in order.

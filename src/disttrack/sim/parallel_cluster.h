@@ -50,10 +50,17 @@
 namespace disttrack {
 namespace sim {
 
+class OnlineCountSession;
+class OnlineKeyedSession;
+
 /// A thread-pool replay engine; one instance owns `threads` worker
 /// threads (threads == 1 runs everything on the calling thread) and can
 /// replay any number of workloads sequentially. Not itself thread-safe:
 /// drive it from one thread.
+///
+/// Replay is not the only mode: the online sessions of sim/online.h
+/// borrow this pool to ingest live pushes with no workload pre-knowledge
+/// (no plan pass) — see OnlineCountSession / OnlineKeyedSession.
 class ParallelCluster {
  public:
   /// Pass as `threads` to size the pool from the hardware. The heuristic:
@@ -103,6 +110,11 @@ class ParallelCluster {
 
  private:
   class Pool;
+
+  // The online sessions drive epochs through RunEpochTasks without a
+  // plan; they are part of this engine's surface, just stateful.
+  friend class OnlineCountSession;
+  friend class OnlineKeyedSession;
 
   // Runs `fn(task)` for task in [0, num_tasks) across the workers (inline
   // when threads_ == 1); returns after all tasks completed.

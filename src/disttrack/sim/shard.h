@@ -31,6 +31,12 @@
 // the seed — independent of the thread count and bit-identical to the
 // serial drivers (pinned by tests/parallel_cluster_test.cc).
 //
+// An epoch may span several ShardEpochBegin calls before its End: the
+// online sessions (sim/online.h) extend an open epoch push by push, and
+// each Begin(m) only announces m further arrivals (advancing the ground
+// truth) while the sinks keep accumulating. Every implementation's Begin
+// is idempotent apart from that advance.
+//
 // Estimates may only be read between epochs (after ShardEpochEnd).
 
 #ifndef DISTTRACK_SIM_SHARD_H_
@@ -38,12 +44,26 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace disttrack {
+
+namespace count {
+class CoarseTracker;
+}  // namespace count
+
 namespace sim {
 
 /// Shard ingest for count trackers: arrivals carry no key, so a site's
 /// epoch slice is just an arrival count.
+///
+/// The Shard*Site / ShardTryEpochEnd / ShardAbortEpoch group is the
+/// speculative online surface (sim::OnlineCountSession): a push is
+/// ingested as its own epoch WITHOUT knowing whether it broadcasts; the
+/// trial fold refuses exactly when it would, and the session then rolls
+/// the touched sites back to their pre-push snapshots and re-delivers the
+/// push serially (where the broadcast machinery runs unchanged). Defaults
+/// mark the surface unsupported — replay-only shard ingest.
 class CountShardIngest {
  public:
   virtual ~CountShardIngest() = default;
@@ -52,6 +72,31 @@ class CountShardIngest {
   /// Concurrent across sites; at most one thread touches a given site.
   virtual void ShardArriveRun(int site, uint64_t count) = 0;
   virtual void ShardEpochEnd() = 0;
+
+  /// True when the speculative online hooks below are implemented.
+  virtual bool ShardOnlineReady() const { return false; }
+  /// Captures `site`'s full private state (clearing `*out` first) so a
+  /// refused speculative epoch can be unwound. Returns false when the
+  /// site cannot snapshot here (never, for trackers advertising
+  /// ShardOnlineReady — count sites snapshot between any two arrivals).
+  virtual bool ShardSnapshotSite(int /*site*/,
+                                 std::vector<uint64_t>* /*out*/) {
+    return false;
+  }
+  /// Restores a ShardSnapshotSite capture taken this epoch (no broadcast
+  /// may have intervened — true whenever the trial fold refused).
+  virtual void ShardRestoreSite(int /*site*/,
+                                const std::vector<uint64_t>& /*blob*/) {}
+  /// Folds the open epoch iff the buffered coordinator deltas provably
+  /// cannot trip a broadcast (exact: the deferred coarse deltas ARE the
+  /// epoch's reports, and n' is nondecreasing). On refusal returns false
+  /// with coordinator state and sinks untouched — the caller restores
+  /// site snapshots and calls ShardAbortEpoch.
+  virtual bool ShardTryEpochEnd() { return false; }
+  /// Unwinds a refused speculative epoch of `arrivals` arrivals: clears
+  /// the sinks and rewinds the ground-truth advance of ShardEpochBegin.
+  /// Site state is restored separately via ShardRestoreSite.
+  virtual void ShardAbortEpoch(uint64_t /*arrivals*/) {}
 };
 
 /// Shard ingest for keyed trackers (frequency items / rank values).
@@ -72,6 +117,12 @@ class KeyedShardIngest {
   /// aggregates and never reads `global_index` — the driver then skips
   /// materializing the per-site index arrays and passes nullptr.
   virtual bool wants_global_indices() const { return true; }
+  /// The CoarseTracker all of the tracker's broadcasts hang off, or
+  /// nullptr when online ingest is unsupported. sim::OnlineKeyedSession
+  /// seeds a count::EpochCertifier from it to certify, push by push, that
+  /// the open epoch stays broadcast-free (and to locate the exact
+  /// broadcast arrival when it would not).
+  virtual count::CoarseTracker* shard_coarse() { return nullptr; }
 };
 
 }  // namespace sim

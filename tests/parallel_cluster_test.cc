@@ -13,9 +13,12 @@
 
 #include "disttrack/sim/parallel_cluster.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
+
+#include "disttrack/sim/online.h"
 
 #include "gtest/gtest.h"
 
@@ -378,6 +381,452 @@ TEST(ParallelClusterEdge, OneClusterManyReplaysKeepsWorkersAlive) {
     auto tracker = MakeCount(Options(k));
     ExpectIdentical(serial,
                     cluster.ReplayCountSites(tracker.get(), sites, 2.0));
+  }
+}
+
+// ---------------------------------------------------------- online ingest
+//
+// The online sessions (sim/online.h) must agree with the serial drivers
+// without the replay plan pass: the count session bit-exactly for ANY
+// push partition (speculation + rollback changes no coin draw), the
+// keyed sessions bit-exactly whenever serial delivery uses the SAME
+// chunk sequence (push boundaries cut rank runs, so a different
+// partition is distribution-equivalent only — covered by the statistical
+// tier below).
+
+// Pushes the stream through the session one segment per boundary
+// (ascending, last == total), sampling the estimate after each — the
+// online analogue of the Replay* checkpoint loop.
+std::vector<Checkpoint> OnlineCountRun(sim::OnlineCountSession* session,
+                                       sim::CountTrackerInterface* tracker,
+                                       const SiteStream& sites,
+                                       const std::vector<uint64_t>& bounds) {
+  std::vector<Checkpoint> out;
+  uint64_t pos = 0;
+  for (uint64_t b : bounds) {
+    session->PushSites(sites.data() + pos, b - pos);
+    pos = b;
+    out.push_back(
+        Checkpoint{pos, tracker->EstimateCount(), static_cast<double>(pos)});
+  }
+  return out;
+}
+
+std::vector<Checkpoint> OnlineFrequencyRun(
+    sim::OnlineKeyedSession* session, sim::FrequencyTrackerInterface* tracker,
+    const Workload& w, uint64_t query, const std::vector<uint64_t>& bounds) {
+  std::vector<Checkpoint> out;
+  uint64_t pos = 0;
+  uint64_t freq = 0;
+  for (uint64_t b : bounds) {
+    session->Push(w.data() + pos, b - pos);
+    for (uint64_t i = pos; i < b; ++i) {
+      if (w[i].key == query) ++freq;
+    }
+    pos = b;
+    session->Sync();
+    out.push_back(Checkpoint{pos, tracker->EstimateFrequency(query),
+                             static_cast<double>(freq)});
+  }
+  return out;
+}
+
+std::vector<Checkpoint> OnlineRankRun(sim::OnlineKeyedSession* session,
+                                      sim::RankTrackerInterface* tracker,
+                                      const Workload& w, uint64_t query,
+                                      const std::vector<uint64_t>& bounds) {
+  std::vector<Checkpoint> out;
+  uint64_t pos = 0;
+  uint64_t rank = 0;
+  for (uint64_t b : bounds) {
+    session->Push(w.data() + pos, b - pos);
+    for (uint64_t i = pos; i < b; ++i) {
+      if (w[i].key < query) ++rank;
+    }
+    pos = b;
+    session->Sync();
+    out.push_back(Checkpoint{pos, tracker->EstimateRank(query),
+                             static_cast<double>(rank)});
+  }
+  return out;
+}
+
+void ExpectSameTraffic(const sim::CountTrackerInterface& a,
+                       const sim::CountTrackerInterface& b) {
+  EXPECT_EQ(a.meter().TotalMessages(), b.meter().TotalMessages());
+  EXPECT_EQ(a.meter().TotalWords(), b.meter().TotalWords());
+}
+
+template <typename Tracker>
+void ExpectSameKeyedTraffic(const Tracker& a, const Tracker& b) {
+  EXPECT_EQ(a.meter().TotalMessages(), b.meter().TotalMessages());
+  EXPECT_EQ(a.meter().TotalWords(), b.meter().TotalWords());
+}
+
+TEST(OnlineCount, MatchesSerialReplayAcrossThreadCounts) {
+  for (int k : {1, 3, 8}) {
+    for (auto sched : {stream::SiteSchedule::kUniformRandom,
+                       stream::SiteSchedule::kSkewedGeometric,
+                       stream::SiteSchedule::kBursty,
+                       stream::SiteSchedule::kSingleSite}) {
+      SiteStream sites = stream::MakeCountSites(k, 60000, sched, 7);
+      auto serial_tracker = MakeCount(Options(k));
+      auto serial = sim::ReplayCountSites(serial_tracker.get(), sites, 1.5);
+      std::vector<uint64_t> bounds = sim::CheckpointCounts(sites.size(), 1.5);
+      for (int threads : {1, 2, 4, 7}) {
+        ParallelCluster cluster(threads);
+        auto tracker = MakeCount(Options(k));
+        sim::OnlineCountSession session(&cluster, tracker.get());
+        EXPECT_TRUE(session.sharded());
+        auto online = OnlineCountRun(&session, tracker.get(), sites, bounds);
+        ExpectIdentical(serial, online);
+        // The very first arrival broadcasts (limit = 1), so at least that
+        // push must have been unwound and re-delivered serially.
+        EXPECT_GT(session.rollbacks(), 0u);
+        ExpectSameTraffic(*serial_tracker, *tracker);
+      }
+    }
+  }
+}
+
+TEST(OnlineCount, ArbitraryPushBoundariesAreExact) {
+  // The count session is partition-insensitive: compare growing, never-
+  // aligned pushes against ONE serial delivery of the whole stream.
+  int k = 6;
+  SiteStream sites = stream::MakeCountSites(
+      k, 40000, stream::SiteSchedule::kSkewedGeometric, 19);
+  auto serial_tracker = MakeCount(Options(k));
+  serial_tracker->ArriveSites(sites.data(), sites.size());
+  ParallelCluster cluster(4);
+  auto tracker = MakeCount(Options(k));
+  sim::OnlineCountSession session(&cluster, tracker.get());
+  size_t pos = 0;
+  size_t push = 1;
+  while (pos < sites.size()) {
+    size_t len = std::min(push, sites.size() - pos);
+    session.PushSites(sites.data() + pos, len);
+    pos += len;
+    push = push * 2 + 1;
+  }
+  EXPECT_EQ(serial_tracker->EstimateCount(), tracker->EstimateCount());
+  ExpectSameTraffic(*serial_tracker, *tracker);
+}
+
+TEST(OnlineCount, FallsBackWithoutOnlineShardSupport) {
+  int k = 4;
+  SiteStream sites = stream::MakeCountSites(
+      k, 8000, stream::SiteSchedule::kUniformRandom, 5);
+  ParallelCluster cluster(4);
+  {
+    // Per-arrival coin path: sharded replay exists but is not online-
+    // ready (no snapshot hooks) — the session must fall back to serial.
+    core::TrackerOptions opt = Options(k);
+    opt.use_skip_sampling = false;
+    auto serial_tracker = MakeCount(opt);
+    serial_tracker->ArriveSites(sites.data(), sites.size());
+    auto tracker = MakeCount(opt);
+    sim::OnlineCountSession session(&cluster, tracker.get());
+    EXPECT_FALSE(session.sharded());
+    session.PushSites(sites);
+    EXPECT_EQ(session.rollbacks(), 0u);
+    EXPECT_EQ(serial_tracker->EstimateCount(), tracker->EstimateCount());
+    ExpectSameTraffic(*serial_tracker, *tracker);
+  }
+  {
+    auto serial_tracker = MakeCount(Options(k), core::Algorithm::kDeterministic);
+    serial_tracker->ArriveSites(sites.data(), sites.size());
+    auto tracker = MakeCount(Options(k), core::Algorithm::kDeterministic);
+    sim::OnlineCountSession session(&cluster, tracker.get());
+    EXPECT_FALSE(session.sharded());
+    session.PushSites(sites);
+    EXPECT_EQ(serial_tracker->EstimateCount(), tracker->EstimateCount());
+    ExpectSameTraffic(*serial_tracker, *tracker);
+  }
+}
+
+TEST(OnlineFrequency, MatchesSerialReplayAcrossThreadCounts) {
+  for (int k : {1, 4, 16}) {
+    Workload w = stream::MakeFrequencyWorkload(
+        k, 40000, stream::SiteSchedule::kUniformRandom, 5000, 1.1, 9);
+    uint64_t query = 0;
+    auto serial_tracker = MakeFrequency(Options(k));
+    auto serial = sim::ReplayFrequency(serial_tracker.get(), w, query, 1.5);
+    std::vector<uint64_t> bounds = sim::CheckpointCounts(w.size(), 1.5);
+    for (int threads : {1, 2, 4, 7}) {
+      ParallelCluster cluster(threads);
+      auto tracker = MakeFrequency(Options(k));
+      sim::OnlineKeyedSession session(&cluster, tracker.get());
+      EXPECT_TRUE(session.sharded());
+      auto online =
+          OnlineFrequencyRun(&session, tracker.get(), w, query, bounds);
+      ExpectIdentical(serial, online);
+      EXPECT_GT(session.epoch_splits(), 0u);
+      ExpectSameKeyedTraffic(*serial_tracker, *tracker);
+    }
+  }
+}
+
+TEST(OnlineFrequency, BurstySingleSiteAndMisalignedPushes) {
+  // Frequency has no run buffering, so even a partition nobody else uses
+  // (fixed 1009-arrival pushes) must match ONE serial batch bit-exactly.
+  for (auto sched : {stream::SiteSchedule::kSingleSite,
+                     stream::SiteSchedule::kBursty}) {
+    int k = 8;
+    Workload w =
+        stream::MakeFrequencyWorkload(k, 30000, sched, 2000, 0.0, 13);
+    auto serial_tracker = MakeFrequency(Options(k));
+    serial_tracker->ArriveBatch(w.data(), w.size());
+    ParallelCluster cluster(6);
+    auto tracker = MakeFrequency(Options(k));
+    sim::OnlineKeyedSession session(&cluster, tracker.get());
+    size_t pos = 0;
+    while (pos < w.size()) {
+      size_t len = std::min<size_t>(1009, w.size() - pos);
+      session.Push(w.data() + pos, len);
+      pos += len;
+    }
+    session.Sync();
+    EXPECT_EQ(serial_tracker->EstimateFrequency(1),
+              tracker->EstimateFrequency(1));
+    ExpectSameKeyedTraffic(*serial_tracker, *tracker);
+  }
+}
+
+TEST(OnlineFrequency, FallsBackForLegacyCounterStore) {
+  int k = 4;
+  Workload w = stream::MakeFrequencyWorkload(
+      k, 4000, stream::SiteSchedule::kUniformRandom, 500, 0.0, 3);
+  core::TrackerOptions opt = Options(k);
+  opt.use_flat_counters = false;
+  auto serial_tracker = MakeFrequency(opt);
+  serial_tracker->ArriveBatch(w.data(), w.size());
+  ParallelCluster cluster(4);
+  auto tracker = MakeFrequency(opt);
+  sim::OnlineKeyedSession session(&cluster, tracker.get());
+  EXPECT_FALSE(session.sharded());
+  session.Push(w);
+  session.Sync();
+  EXPECT_EQ(session.epoch_splits(), 0u);
+  EXPECT_EQ(serial_tracker->EstimateFrequency(1), tracker->EstimateFrequency(1));
+  ExpectSameKeyedTraffic(*serial_tracker, *tracker);
+}
+
+TEST(OnlineRank, CheckpointAlignedPushesBitIdenticalToSerial) {
+  // Push boundaries cut per-site runs, so bit-identity is pinned on the
+  // SAME chunk sequence the serial replay uses (the checkpoint batches).
+  for (int k : {1, 4, 12}) {
+    Workload w = stream::MakeRankWorkload(
+        k, 30000, stream::SiteSchedule::kUniformRandom,
+        stream::ValueOrder::kUniformRandom, 14, 17);
+    uint64_t query = 1ull << 13;
+    auto serial_tracker = MakeRank(Options(k));
+    auto serial = sim::ReplayRank(serial_tracker.get(), w, query, 1.5);
+    std::vector<uint64_t> bounds = sim::CheckpointCounts(w.size(), 1.5);
+    for (int threads : {1, 2, 4, 7}) {
+      ParallelCluster cluster(threads);
+      auto tracker = MakeRank(Options(k));
+      sim::OnlineKeyedSession session(&cluster, tracker.get());
+      EXPECT_TRUE(session.sharded());
+      auto online = OnlineRankRun(&session, tracker.get(), w, query, bounds);
+      ExpectIdentical(serial, online);
+      EXPECT_GT(session.epoch_splits(), 0u);
+      ExpectSameKeyedTraffic(*serial_tracker, *tracker);
+    }
+  }
+}
+
+TEST(OnlineRank, SortedAndSkewedStreamsMatchSerial) {
+  int k = 6;
+  for (auto order :
+       {stream::ValueOrder::kAscending, stream::ValueOrder::kClustered}) {
+    Workload w = stream::MakeRankWorkload(
+        k, 20000, stream::SiteSchedule::kSkewedGeometric, order, 12, 29);
+    uint64_t query = 1ull << 11;
+    auto serial_tracker = MakeRank(Options(k));
+    auto serial = sim::ReplayRank(serial_tracker.get(), w, query, 1.5);
+    std::vector<uint64_t> bounds = sim::CheckpointCounts(w.size(), 1.5);
+    ParallelCluster cluster(4);
+    auto tracker = MakeRank(Options(k));
+    sim::OnlineKeyedSession session(&cluster, tracker.get());
+    auto online = OnlineRankRun(&session, tracker.get(), w, query, bounds);
+    ExpectIdentical(serial, online);
+  }
+}
+
+TEST(OnlineRank, MisalignedPushesMatchSerialWithSameChunks) {
+  // Any partition agrees bit-exactly with serial delivery of the SAME
+  // chunk sequence — run cuts land at the same stream positions.
+  int k = 5;
+  Workload w = stream::MakeRankWorkload(
+      k, 25000, stream::SiteSchedule::kUniformRandom,
+      stream::ValueOrder::kUniformRandom, 13, 23);
+  uint64_t query = 1ull << 12;
+  auto serial_tracker = MakeRank(Options(k));
+  ParallelCluster cluster(4);
+  auto tracker = MakeRank(Options(k));
+  sim::OnlineKeyedSession session(&cluster, tracker.get());
+  size_t pos = 0;
+  while (pos < w.size()) {
+    size_t len = std::min<size_t>(769, w.size() - pos);
+    serial_tracker->ArriveBatch(w.data() + pos, len);
+    session.Push(w.data() + pos, len);
+    session.Sync();
+    EXPECT_EQ(serial_tracker->EstimateRank(query), tracker->EstimateRank(query))
+        << "after " << pos + len << " arrivals";
+    pos += len;
+  }
+  ExpectSameKeyedTraffic(*serial_tracker, *tracker);
+}
+
+TEST(OnlineRank, MisalignedPushErrorWithinBound) {
+  // Across DIFFERENT partitions the batched compactor is distribution-
+  // equivalent, not bit-equal — so the cross-partition pin is
+  // statistical: the online estimate keeps the protocol's eps n error
+  // bound over independent seeds.
+  int k = 8;
+  uint64_t n = 30000;
+  Workload w = stream::MakeRankWorkload(
+      k, n, stream::SiteSchedule::kUniformRandom,
+      stream::ValueOrder::kUniformRandom, 14, 31);
+  uint64_t query = 1ull << 13;
+  uint64_t truth = 0;
+  for (const auto& a : w) {
+    if (a.key < query) ++truth;
+  }
+  ParallelCluster cluster(3);
+  int failures = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    auto tracker = MakeRank(Options(k, seed, 0.05));
+    sim::OnlineKeyedSession session(&cluster, tracker.get());
+    size_t pos = 0;
+    while (pos < w.size()) {
+      size_t len = std::min<size_t>(769, w.size() - pos);
+      session.Push(w.data() + pos, len);
+      pos += len;
+    }
+    session.Sync();
+    double err = std::abs(tracker->EstimateRank(query) -
+                          static_cast<double>(truth));
+    if (err > 0.05 * static_cast<double>(n)) ++failures;
+  }
+  EXPECT_LE(failures, 4);
+}
+
+TEST(OnlineRank, PerElementFeedFallsBack) {
+  int k = 4;
+  Workload w = stream::MakeRankWorkload(
+      k, 5000, stream::SiteSchedule::kUniformRandom,
+      stream::ValueOrder::kUniformRandom, 12, 37);
+  core::TrackerOptions opt = Options(k);
+  opt.use_batch_compaction = false;
+  auto serial_tracker = MakeRank(opt);
+  serial_tracker->ArriveBatch(w.data(), w.size());
+  ParallelCluster cluster(2);
+  auto tracker = MakeRank(opt);
+  sim::OnlineKeyedSession session(&cluster, tracker.get());
+  EXPECT_FALSE(session.sharded());
+  session.Push(w);
+  session.Sync();
+  EXPECT_EQ(serial_tracker->EstimateRank(100), tracker->EstimateRank(100));
+  ExpectSameKeyedTraffic(*serial_tracker, *tracker);
+}
+
+TEST(OnlineThreeWay, ReplayOnlinePushAndSerialAgree) {
+  // The ISSUE's headline pin: the SAME workload through all three
+  // engines — serial driver, replay cluster, online push — checkpoint by
+  // checkpoint, estimates to the ulp plus communication totals.
+  int k = 8;
+  {
+    SiteStream sites = stream::MakeCountSites(
+        k, 50000, stream::SiteSchedule::kSkewedGeometric, 47);
+    auto serial_tracker = MakeCount(Options(k));
+    auto serial = sim::ReplayCountSites(serial_tracker.get(), sites, 1.5);
+    ParallelCluster cluster(4);
+    auto replay_tracker = MakeCount(Options(k));
+    auto replayed =
+        cluster.ReplayCountSites(replay_tracker.get(), sites, 1.5);
+    auto online_tracker = MakeCount(Options(k));
+    sim::OnlineCountSession session(&cluster, online_tracker.get());
+    auto online = OnlineCountRun(&session, online_tracker.get(), sites,
+                                 sim::CheckpointCounts(sites.size(), 1.5));
+    ExpectIdentical(serial, replayed);
+    ExpectIdentical(serial, online);
+    ExpectSameTraffic(*serial_tracker, *replay_tracker);
+    ExpectSameTraffic(*serial_tracker, *online_tracker);
+  }
+  Workload w = stream::MakeFrequencyWorkload(
+      k, 40000, stream::SiteSchedule::kUniformRandom, 3000, 1.1, 47);
+  {
+    auto serial_tracker = MakeFrequency(Options(k));
+    auto serial = sim::ReplayFrequency(serial_tracker.get(), w, 0, 1.5);
+    ParallelCluster cluster(4);
+    auto replay_tracker = MakeFrequency(Options(k));
+    auto replayed = cluster.ReplayFrequency(replay_tracker.get(), w, 0, 1.5);
+    auto online_tracker = MakeFrequency(Options(k));
+    sim::OnlineKeyedSession session(&cluster, online_tracker.get());
+    auto online = OnlineFrequencyRun(&session, online_tracker.get(), w, 0,
+                                     sim::CheckpointCounts(w.size(), 1.5));
+    ExpectIdentical(serial, replayed);
+    ExpectIdentical(serial, online);
+    ExpectSameKeyedTraffic(*serial_tracker, *replay_tracker);
+    ExpectSameKeyedTraffic(*serial_tracker, *online_tracker);
+  }
+  {
+    uint64_t query = 500;
+    auto serial_tracker = MakeRank(Options(k));
+    auto serial = sim::ReplayRank(serial_tracker.get(), w, query, 1.5);
+    ParallelCluster cluster(4);
+    auto replay_tracker = MakeRank(Options(k));
+    auto replayed = cluster.ReplayRank(replay_tracker.get(), w, query, 1.5);
+    auto online_tracker = MakeRank(Options(k));
+    sim::OnlineKeyedSession session(&cluster, online_tracker.get());
+    auto online = OnlineRankRun(&session, online_tracker.get(), w, query,
+                                sim::CheckpointCounts(w.size(), 1.5));
+    ExpectIdentical(serial, replayed);
+    ExpectIdentical(serial, online);
+    ExpectSameKeyedTraffic(*serial_tracker, *replay_tracker);
+    ExpectSameKeyedTraffic(*serial_tracker, *online_tracker);
+  }
+}
+
+TEST(OnlineEdge, EmptySessionsAndSingleArrivalPushes) {
+  int k = 3;
+  ParallelCluster cluster(4);
+  {
+    auto tracker = MakeCount(Options(k));
+    sim::OnlineCountSession session(&cluster, tracker.get());
+    session.PushSites(nullptr, 0);
+    EXPECT_EQ(tracker->EstimateCount(), 0.0);
+  }
+  {
+    // Every push a single arrival: the certifier and the speculation
+    // machinery run per arrival, broadcasts and all.
+    SiteStream sites = stream::MakeCountSites(
+        k, 2000, stream::SiteSchedule::kBursty, 3);
+    auto serial_tracker = MakeCount(Options(k));
+    serial_tracker->ArriveSites(sites.data(), sites.size());
+    auto tracker = MakeCount(Options(k));
+    sim::OnlineCountSession session(&cluster, tracker.get());
+    for (size_t i = 0; i < sites.size(); ++i) {
+      session.PushSites(sites.data() + i, 1);
+    }
+    EXPECT_EQ(serial_tracker->EstimateCount(), tracker->EstimateCount());
+    ExpectSameTraffic(*serial_tracker, *tracker);
+  }
+  {
+    Workload w = stream::MakeRankWorkload(
+        k, 2000, stream::SiteSchedule::kUniformRandom,
+        stream::ValueOrder::kUniformRandom, 12, 7);
+    auto serial_tracker = MakeRank(Options(k));
+    auto tracker = MakeRank(Options(k));
+    sim::OnlineKeyedSession session(&cluster, tracker.get());
+    for (size_t i = 0; i < w.size(); ++i) {
+      serial_tracker->ArriveBatch(w.data() + i, 1);
+      session.Push(w.data() + i, 1);
+    }
+    session.Sync();
+    EXPECT_EQ(serial_tracker->EstimateRank(100), tracker->EstimateRank(100));
+    ExpectSameKeyedTraffic(*serial_tracker, *tracker);
   }
 }
 

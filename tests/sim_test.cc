@@ -154,6 +154,25 @@ TEST(ReplayTest, CountCheckpointsAreGeometricAndEndAtN) {
   }
 }
 
+TEST(PushBoundariesTest, CutsAtCheckpointsAndMaxPush) {
+  // max_push-sized cuts, plus a cut at every checkpoint, ending at total.
+  auto bounds = PushBoundaries(100, 30, {10, 45, 100});
+  EXPECT_EQ(bounds, (std::vector<uint64_t>{10, 40, 45, 75, 100}));
+  // Checkpoints past the end or behind the cursor are ignored.
+  EXPECT_EQ(PushBoundaries(10, 100, {3, 3, 200}),
+            (std::vector<uint64_t>{3, 10}));
+  // Empty stream -> no pushes.
+  EXPECT_TRUE(PushBoundaries(0, 5, {}).empty());
+  // Boundaries partition [0, total): strictly ascending, last == total.
+  auto dense = PushBoundaries(1000, 7, CheckpointCounts(1000, 1.5));
+  ASSERT_FALSE(dense.empty());
+  EXPECT_EQ(dense.back(), 1000u);
+  for (size_t i = 1; i < dense.size(); ++i) {
+    EXPECT_GT(dense[i], dense[i - 1]);
+    EXPECT_LE(dense[i] - dense[i - 1], 7u);
+  }
+}
+
 // Toy exact frequency and rank trackers.
 class ExactFrequencyTracker : public FrequencyTrackerInterface {
  public:

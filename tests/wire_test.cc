@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "disttrack/common/backoff.h"
@@ -106,6 +108,33 @@ TEST(WireFrameTest, RejectsCorruption) {
     bad[i] ^= 0x40;
     EXPECT_FALSE(wire::DecodeFrame(bad.data(), bad.size(), &out, &seq))
         << "flip at " << i;
+  }
+}
+
+TEST(WireFrameTest, EveryTruncationOfEveryTypeIsRejectedWithoutOverrun) {
+  // Fuzz-style sweep: for every message type, every strict prefix of a
+  // valid frame must be rejected. Each prefix lives in its OWN exactly-
+  // sized heap allocation, so any decoder read past the advertised
+  // length is an ASan heap-buffer-overflow, not a silent success — the
+  // full-frame RejectsCorruption sweep above cannot see those. The
+  // decoder must also leave the outputs untouched on failure.
+  for (wire::MsgType type : AllTypes()) {
+    wire::Message msg = SampleMessage(type);
+    std::vector<uint8_t> frame;
+    wire::EncodeFrame(msg, 123, &frame);
+    for (size_t cut = 0; cut < frame.size(); ++cut) {
+      std::unique_ptr<uint8_t[]> exact(new uint8_t[cut]);
+      std::copy(frame.begin(), frame.begin() + cut, exact.get());
+      wire::Message out = SampleMessage(wire::MsgType::kRankSummary);
+      out.a = 0x5E17;
+      uint64_t seq = 0x5E17;
+      EXPECT_FALSE(wire::DecodeFrame(exact.get(), cut, &out, &seq))
+          << "type " << static_cast<int>(type) << " cut " << cut;
+      // Rejection without side effects: a partial decode must not leak
+      // into the caller's message or sequence number.
+      EXPECT_EQ(out.a, 0x5E17u) << "cut " << cut;
+      EXPECT_EQ(seq, 0x5E17u) << "cut " << cut;
+    }
   }
 }
 
