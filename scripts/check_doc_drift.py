@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Doc-drift guard: fail CI when the normative docs fall behind the code.
+
+Two cross-checks, both exact:
+
+1. docs/WIRE_PROTOCOL.md's message-type table vs the MsgType enum in
+   src/disttrack/sim/wire.h — same names, same values, nothing missing
+   on either side; plus the doc's stated "Current version: N" vs
+   wire::kVersion.
+
+2. README.md's delivery-paths table vs bench/bench_throughput.cpp —
+   every path row the README documents must still be a row name the
+   bench emits, and every row-name family the bench emits must still be
+   documented. (Thread-scaling rows are families: the bench emits
+   cluster_t<N>/online_t<N>, the README writes cluster_t⟨N⟩.)
+
+No dependencies beyond the standard library; run from anywhere:
+
+    python3 scripts/check_doc_drift.py
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+WIRE_H = ROOT / "src" / "disttrack" / "sim" / "wire.h"
+WIRE_DOC = ROOT / "docs" / "WIRE_PROTOCOL.md"
+README = ROOT / "README.md"
+BENCH = ROOT / "bench" / "bench_throughput.cpp"
+
+errors = []
+
+
+def fail(msg):
+    errors.append(msg)
+
+
+def parse_enum_msg_types(text):
+    """MsgType enum entries as {name: value} from the wire.h source."""
+    m = re.search(r"enum class MsgType[^{]*\{(.*?)\};", text, re.S)
+    if not m:
+        fail(f"{WIRE_H}: could not find 'enum class MsgType'")
+        return {}
+    entries = {}
+    for name, value in re.findall(r"\b(k\w+)\s*=\s*(\d+)", m.group(1)):
+        entries[name] = int(value)
+    if not entries:
+        fail(f"{WIRE_H}: MsgType enum parsed to zero entries")
+    return entries
+
+
+def parse_doc_msg_types(text):
+    """Type-table rows as {name: value} from WIRE_PROTOCOL.md.
+
+    Rows look like: | 12 | `kJoin` | site → coord | ... |
+    """
+    entries = {}
+    for value, name in re.findall(r"^\|\s*(\d+)\s*\|\s*`(k\w+)`", text, re.M):
+        entries[name] = int(value)
+    if not entries:
+        fail(f"{WIRE_DOC}: message-type table parsed to zero rows")
+    return entries
+
+
+def check_wire_protocol():
+    src = WIRE_H.read_text(encoding="utf-8")
+    doc = WIRE_DOC.read_text(encoding="utf-8")
+
+    code = parse_enum_msg_types(src)
+    documented = parse_doc_msg_types(doc)
+    for name, value in sorted(code.items(), key=lambda kv: kv[1]):
+        if name not in documented:
+            fail(f"{WIRE_DOC}: wire.h type {name} = {value} is undocumented")
+        elif documented[name] != value:
+            fail(
+                f"{WIRE_DOC}: {name} documented as {documented[name]}, "
+                f"wire.h says {value}"
+            )
+    for name, value in sorted(documented.items(), key=lambda kv: kv[1]):
+        if name not in code:
+            fail(
+                f"{WIRE_DOC}: documents type {name} = {value}, "
+                f"which wire.h does not define"
+            )
+
+    m = re.search(r"constexpr uint16_t kVersion = (\d+);", src)
+    n = re.search(r"\*\*Current version: (\d+)\.\*\*", doc)
+    if not m:
+        fail(f"{WIRE_H}: could not find kVersion")
+    if not n:
+        fail(f"{WIRE_DOC}: could not find '**Current version: N.**' line")
+    if m and n and m.group(1) != n.group(1):
+        fail(
+            f"{WIRE_DOC}: states version {n.group(1)}, "
+            f"wire.h kVersion is {m.group(1)}"
+        )
+
+
+def parse_readme_delivery_paths(text):
+    """First-column path names of the README '### Delivery paths' table."""
+    m = re.search(r"### Delivery paths(.*?)\n## ", text, re.S)
+    if not m:
+        fail(f"{README}: could not find the '### Delivery paths' section")
+        return []
+    names = re.findall(r"^\|\s*`([^`]+)`\s*\|", m.group(1), re.M)
+    if not names:
+        fail(f"{README}: delivery-paths table parsed to zero rows")
+    return names
+
+
+def normalize_family(name):
+    """cluster_t⟨N⟩ / cluster_t<N> / cluster_t4 -> ('cluster_t', True)."""
+    m = re.match(r"^([a-z_]+_t)(?:\d+|⟨N⟩|<N>)$", name)
+    if m:
+        return m.group(1), True
+    return name, False
+
+
+def parse_bench_row_families(text):
+    """Row-name families the bench emits: exact literals assigned to the
+    BenchEntry path field, plus '<prefix>_t' families built with
+    std::to_string(threads)."""
+    families = set()
+    # Exact row names: struct-literal path tables like
+    # CountPath{"skip_batched", ...} and the direct Record("...") names.
+    for name in re.findall(r'(?:Count|Freq|Rank)Path\{"([a-z_]+)"', text):
+        families.add(name)
+    # Thread families: "cluster_t" + std::to_string(threads)
+    for prefix in re.findall(
+        r'"([a-z_]+_t)"\s*\+\s*std::to_string\(threads\)', text
+    ):
+        families.add(prefix)
+    if not families:
+        fail(f"{BENCH}: parsed zero bench row-name families")
+    return families
+
+
+def check_delivery_paths():
+    readme = README.read_text(encoding="utf-8")
+    bench = BENCH.read_text(encoding="utf-8")
+
+    documented = parse_readme_delivery_paths(readme)
+    emitted = parse_bench_row_families(bench)
+
+    documented_families = set()
+    for name in documented:
+        family, is_family = normalize_family(name)
+        documented_families.add(family)
+        if family not in emitted:
+            kind = "family" if is_family else "row"
+            fail(
+                f"{README}: delivery-paths table documents {kind} `{name}`, "
+                f"but bench_throughput.cpp emits no such row name"
+            )
+    for family in sorted(emitted):
+        if family not in documented_families:
+            fail(
+                f"{README}: bench_throughput.cpp emits row family "
+                f"'{family}', missing from the delivery-paths table"
+            )
+
+
+def main():
+    for path in (WIRE_H, WIRE_DOC, README, BENCH):
+        if not path.exists():
+            fail(f"missing file: {path}")
+    if not errors:
+        check_wire_protocol()
+        check_delivery_paths()
+    if errors:
+        for msg in errors:
+            print(f"doc-drift: {msg}", file=sys.stderr)
+        print(f"doc-drift: {len(errors)} error(s)", file=sys.stderr)
+        return 1
+    print("doc-drift: wire-protocol table and delivery-paths table both "
+          "match the source")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+// The coordinator daemon. Listens on a unix or tcp endpoint, accepts k
+// site sessions plus any number of query clients, and runs the tracking
+// protocol until a client sends kShutdown.
+//
+//   $ ./service/disttrack_coordinator --listen=unix:/tmp/dt.sock \
+//         --tracker=count --sites=8 --n=100000 --seed=1
+//
+// Flags: --listen=ENDPOINT plus every shared fleet flag of
+// service/options.h (--tracker --mode --sites --epsilon --seed --n
+// --universe --grant --snapshot-every). The fleet flags must be
+// byte-identical across the coordinator and all sites — kJoin carries a
+// hash of them and mismatched sites are rejected. docs/OPERATIONS.md is
+// the runbook.
+
+#include <cstdio>
+#include <string>
+
+#include "disttrack/service/coordinator.h"
+#include "disttrack/service/options.h"
+#include "disttrack/service/socket.h"
+
+int main(int argc, char** argv) {
+  disttrack::service::ServiceOptions options;
+  disttrack::service::Endpoint endpoint;
+  bool have_endpoint = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string error;
+    if (arg.rfind("--listen=", 0) == 0) {
+      if (!disttrack::service::Endpoint::Parse(arg.substr(9), &endpoint,
+                                               &error)) {
+        fprintf(stderr, "disttrack_coordinator: %s\n", error.c_str());
+        return 2;
+      }
+      have_endpoint = true;
+      continue;
+    }
+    if (options.ParseFlag(arg, &error)) continue;
+    fprintf(stderr, "disttrack_coordinator: %s\n",
+            error.empty() ? ("unknown flag: " + arg).c_str() : error.c_str());
+    return 2;
+  }
+  if (!have_endpoint) {
+    fprintf(stderr,
+            "disttrack_coordinator: --listen=unix:PATH or "
+            "--listen=tcp:HOST:PORT is required\n");
+    return 2;
+  }
+
+  disttrack::service::Coordinator coordinator(options);
+  std::string error;
+  if (!coordinator.AddListener(endpoint, &error)) {
+    fprintf(stderr, "disttrack_coordinator: %s\n", error.c_str());
+    return 1;
+  }
+  fprintf(stderr,
+          "disttrack_coordinator: %s %s, %d sites, n=%llu, listening on %s\n",
+          disttrack::service::TrackerKindName(options.tracker),
+          disttrack::service::RunModeName(options.mode), options.num_sites,
+          static_cast<unsigned long long>(options.total_arrivals),
+          endpoint.ToString().c_str());
+  return coordinator.RunUntilShutdown();
+}

@@ -110,7 +110,15 @@ void RandomizedRankTracker::StartFreshInstance(SiteState* s) {
     // samples); unpulled ladder data goes with it.
     s->ladder.Reset(levels);
   }
-  if (crash_replay_) {
+  if (crash_replay_ && detached_replay_) {
+    // Detached site process: no journaled instances to walk and nothing
+    // is ever stored into idata in replay mode, so one scratch instance
+    // serves every round/chunk transition (keeps the long-lived site at
+    // O(1) instance memory).
+    if (s->owned_instances.empty()) s->owned_instances.emplace_back();
+    s->idata = &s->owned_instances.back();
+    s->idata->inv_p = inv_p_;
+  } else if (crash_replay_) {
     // The coordinator-side instance storage survived the crash: advance
     // the replay cursor through the instances the original execution
     // created instead of appending duplicates.

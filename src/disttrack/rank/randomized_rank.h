@@ -182,6 +182,15 @@ class RandomizedRankTracker : public sim::RankTrackerInterface,
   /// Per-site half of a round transition another site triggered.
   void ReplayCrashRitual(int site, uint64_t n_bar);
 
+  /// Detached-site mode (service/): the tracker lives in a site process
+  /// and runs in crash replay permanently — the coordinator's instance
+  /// storage is a remote replica, so there is no pre-crash instance
+  /// journal for the replay cursor to walk. Instance transitions then
+  /// reuse one scratch InstanceData (replay mode never stores summaries
+  /// or residuals into it) instead of cursor-advancing. Set before
+  /// BeginCrashReplay.
+  void set_detached_replay(bool detached) { detached_replay_ = detached; }
+
  private:
   // A node summary shipped to the coordinator: the compactor's levels as
   // one flat value array partitioned into ascending segments by
@@ -362,6 +371,7 @@ class RandomizedRankTracker : public sim::RankTrackerInterface,
   // instead of appending, so the coordinator-side instance storage is
   // never duplicated.
   bool crash_replay_ = false;
+  bool detached_replay_ = false;
   int replay_site_ = -1;
   size_t replay_cursor_ = 0;
   const uint64_t* replay_mid_n_bar_ = nullptr;

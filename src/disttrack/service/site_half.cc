@@ -1,0 +1,119 @@
+#include "disttrack/service/site_half.h"
+
+#include "disttrack/count/randomized_count.h"
+#include "disttrack/frequency/randomized_frequency.h"
+#include "disttrack/rank/randomized_rank.h"
+
+namespace disttrack {
+namespace service {
+
+namespace {
+
+class CountHalf : public SiteHalf {
+ public:
+  CountHalf(const ServiceOptions& options, int site)
+      : tracker_(options.CountOptions()), site_(site) {
+    tracker_.BeginCrashReplay(site_);
+  }
+  void set_wire_tap(sim::wire::WireTap* tap) override {
+    tracker_.set_wire_tap(tap);
+  }
+  void Arrive(uint64_t /*key*/) override {
+    tracker_.ReplayCrashArrive(site_, nullptr);
+  }
+  void ApplyRitual(uint64_t n_bar) override {
+    tracker_.ReplayCrashRitual(site_, n_bar);
+  }
+  bool SnapshotReady() const override {
+    return tracker_.SiteSnapshotReady(site_);
+  }
+  void Serialize(std::vector<uint64_t>* out) const override {
+    tracker_.SerializeSiteState(site_, out);
+  }
+  void Restore(const std::vector<uint64_t>& blob) override {
+    tracker_.RestoreSiteState(site_, blob);
+  }
+
+ private:
+  count::RandomizedCountTracker tracker_;
+  int site_;
+};
+
+class FrequencyHalf : public SiteHalf {
+ public:
+  FrequencyHalf(const ServiceOptions& options, int site)
+      : tracker_(options.FrequencyOptions()), site_(site) {
+    tracker_.BeginCrashReplay(site_);
+  }
+  void set_wire_tap(sim::wire::WireTap* tap) override {
+    tracker_.set_wire_tap(tap);
+  }
+  void Arrive(uint64_t key) override {
+    tracker_.ReplayCrashArrive(site_, key, nullptr);
+  }
+  void ApplyRitual(uint64_t n_bar) override {
+    tracker_.ReplayCrashRitual(site_, n_bar);
+  }
+  bool SnapshotReady() const override {
+    return tracker_.SiteSnapshotReady(site_);
+  }
+  void Serialize(std::vector<uint64_t>* out) const override {
+    tracker_.SerializeSiteState(site_, out);
+  }
+  void Restore(const std::vector<uint64_t>& blob) override {
+    tracker_.RestoreSiteState(site_, blob);
+  }
+
+ private:
+  frequency::RandomizedFrequencyTracker tracker_;
+  int site_;
+};
+
+class RankHalf : public SiteHalf {
+ public:
+  RankHalf(const ServiceOptions& options, int site)
+      : tracker_(options.RankOptions()), site_(site) {
+    tracker_.set_detached_replay(true);
+    tracker_.BeginCrashReplay(site_);
+  }
+  void set_wire_tap(sim::wire::WireTap* tap) override {
+    tracker_.set_wire_tap(tap);
+  }
+  void Arrive(uint64_t key) override {
+    tracker_.ReplayCrashArrive(site_, key, nullptr);
+  }
+  void ApplyRitual(uint64_t n_bar) override {
+    tracker_.ReplayCrashRitual(site_, n_bar);
+  }
+  bool SnapshotReady() const override {
+    return tracker_.SiteSnapshotReady(site_);
+  }
+  void Serialize(std::vector<uint64_t>* out) const override {
+    tracker_.SerializeSiteState(site_, out);
+  }
+  void Restore(const std::vector<uint64_t>& blob) override {
+    tracker_.RestoreSiteState(site_, blob);
+  }
+
+ private:
+  rank::RandomizedRankTracker tracker_;
+  int site_;
+};
+
+}  // namespace
+
+std::unique_ptr<SiteHalf> SiteHalf::Create(const ServiceOptions& options,
+                                           int site) {
+  switch (options.tracker) {
+    case TrackerKind::kCount:
+      return std::make_unique<CountHalf>(options, site);
+    case TrackerKind::kFrequency:
+      return std::make_unique<FrequencyHalf>(options, site);
+    case TrackerKind::kRank:
+      return std::make_unique<RankHalf>(options, site);
+  }
+  return nullptr;
+}
+
+}  // namespace service
+}  // namespace disttrack

@@ -62,13 +62,14 @@ uint64_t GetU64(const uint8_t* p) {
   return v;
 }
 
-bool HasVectors(MsgType type) { return type == MsgType::kRankSummary; }
+bool HasVectors(MsgType type) {
+  return type == MsgType::kRankSummary || type == MsgType::kQueryResult;
+}
 
-// Header layout (frozen across versions; see wire.h):
-//   magic u32 | version u16 | type u8 | flags u8 | site i32 | seq u64 |
-//   epoch u64 | paper_words u32 | payload_bytes u32
-constexpr size_t kHeaderBytes = 4 + 2 + 1 + 1 + 4 + 8 + 8 + 4 + 4;
-constexpr size_t kCrcBytes = 4;
+bool KnownType(uint8_t raw_type) {
+  return raw_type >= static_cast<uint8_t>(MsgType::kCoarseReport) &&
+         raw_type <= static_cast<uint8_t>(MsgType::kShutdown);
+}
 
 size_t PayloadBytes(const Message& msg) {
   size_t bytes = 3 * 8;  // a, b, c
@@ -82,7 +83,10 @@ size_t PayloadBytes(const Message& msg) {
 }  // namespace
 
 uint64_t PaperWordCharge(const Message& msg, int num_sites) {
-  if (msg.type == MsgType::kAck || msg.type == MsgType::kHello) return 0;
+  if (msg.type == MsgType::kAck || msg.type == MsgType::kHello ||
+      msg.type >= MsgType::kJoin) {
+    return 0;  // transport / service plane: outside the §1.1 model
+  }
   uint64_t per_message = std::max<uint64_t>(1, msg.paper_words);
   if (msg.type == MsgType::kBroadcast) {
     return per_message * static_cast<uint64_t>(num_sites);
@@ -127,10 +131,7 @@ bool DecodeFrame(const uint8_t* data, size_t size, Message* msg,
   if (GetU32(data) != kMagic) return false;
   if (GetU16(data + 4) != kVersion) return false;
   uint8_t raw_type = data[6];
-  if (raw_type < static_cast<uint8_t>(MsgType::kCoarseReport) ||
-      raw_type > static_cast<uint8_t>(MsgType::kHello)) {
-    return false;
-  }
+  if (!KnownType(raw_type)) return false;
   uint32_t payload_bytes = GetU32(data + kHeaderBytes - 4);
   if (size != kHeaderBytes + payload_bytes + kCrcBytes) return false;
   uint32_t want_crc = GetU32(data + size - kCrcBytes);
@@ -172,6 +173,15 @@ bool DecodeFrame(const uint8_t* data, size_t size, Message* msg,
   *msg = std::move(decoded);
   *seq = decoded_seq;
   return true;
+}
+
+size_t PeekFrameSize(const uint8_t* data, size_t size) {
+  if (size < kHeaderBytes) return 0;
+  if (GetU32(data) != kMagic) return 0;
+  if (GetU16(data + 4) != kVersion) return 0;
+  if (!KnownType(data[6])) return 0;
+  uint32_t payload_bytes = GetU32(data + kHeaderBytes - 4);
+  return kHeaderBytes + payload_bytes + kCrcBytes;
 }
 
 }  // namespace wire

@@ -1,0 +1,239 @@
+// Partial-read framing: FrameReader must recover the exact frame
+// sequence from a TCP byte stream no matter how the kernel slices it —
+// split at every byte boundary, coalesced with neighbors, or delivered
+// one byte at a time — and the decode must be byte-identical to the
+// in-memory DecodeFrame path (it IS the same DecodeFrame on the same
+// bytes; these tests pin that no reassembly path perturbs it).
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "disttrack/service/framing.h"
+#include "disttrack/sim/wire.h"
+
+namespace disttrack {
+namespace service {
+namespace {
+
+using sim::wire::DecodeFrame;
+using sim::wire::EncodeFrame;
+using sim::wire::Message;
+using sim::wire::MsgType;
+
+void ExpectSameMessage(const Message& got, const Message& want) {
+  EXPECT_EQ(got.type, want.type);
+  EXPECT_EQ(got.site, want.site);
+  EXPECT_EQ(got.epoch, want.epoch);
+  EXPECT_EQ(got.a, want.a);
+  EXPECT_EQ(got.b, want.b);
+  EXPECT_EQ(got.c, want.c);
+  EXPECT_EQ(got.values, want.values);
+  EXPECT_EQ(got.segments, want.segments);
+  EXPECT_EQ(got.paper_words, want.paper_words);
+}
+
+/// A spread of frame shapes: scalar-only, vector-bearing (kRankSummary
+/// with segments, kQueryResult with values), and service-plane control.
+std::vector<Message> SampleMessages() {
+  std::vector<Message> msgs;
+
+  Message report;
+  report.type = MsgType::kCoarseReport;
+  report.site = 3;
+  report.epoch = 7;
+  report.a = 41;
+  report.paper_words = 1;
+  msgs.push_back(report);
+
+  Message summary;
+  summary.type = MsgType::kRankSummary;
+  summary.site = 1;
+  summary.a = 0;
+  summary.b = 8;
+  summary.values = {5, 9, 12, 99, 1024};
+  summary.segments = {{1, 2}, {4, 5}};
+  summary.paper_words = 5;
+  msgs.push_back(summary);
+
+  Message join;
+  join.type = MsgType::kJoin;
+  join.site = 2;
+  join.a = 1;
+  join.b = 0xDEADBEEFCAFEF00Dull;
+  join.c = 4096;
+  msgs.push_back(join);
+
+  Message result;
+  result.type = MsgType::kQueryResult;
+  result.site = -1;
+  result.a = 2;
+  result.c = 4;
+  result.values = {7, 0x3FF0000000000000ull, 11, 0x4000000000000000ull};
+  msgs.push_back(result);
+
+  Message shutdown;
+  shutdown.type = MsgType::kShutdown;
+  shutdown.site = -1;
+  msgs.push_back(shutdown);
+
+  return msgs;
+}
+
+std::vector<uint8_t> EncodeAll(const std::vector<Message>& msgs,
+                               std::vector<size_t>* boundaries) {
+  std::vector<uint8_t> stream;
+  for (size_t i = 0; i < msgs.size(); ++i) {
+    EncodeFrame(msgs[i], i + 1, &stream);
+    if (boundaries != nullptr) boundaries->push_back(stream.size());
+  }
+  return stream;
+}
+
+void ExpectDecodesAll(FrameReader* reader, const std::vector<Message>& want,
+                      size_t already_seen, size_t expect_count) {
+  Message msg;
+  uint64_t seq = 0;
+  for (size_t i = 0; i < expect_count; ++i) {
+    ASSERT_EQ(reader->Next(&msg, &seq), FrameReader::Result::kFrame)
+        << "frame " << i;
+    EXPECT_EQ(seq, already_seen + i + 1);
+    ExpectSameMessage(msg, want[already_seen + i]);
+  }
+  EXPECT_EQ(reader->Next(&msg, &seq), FrameReader::Result::kNeed);
+}
+
+TEST(ServiceFraming, SplitAtEveryByteBoundary) {
+  std::vector<Message> msgs = SampleMessages();
+  std::vector<uint8_t> stream = EncodeAll(msgs, nullptr);
+  for (size_t split = 0; split <= stream.size(); ++split) {
+    FrameReader reader;
+    reader.Append(stream.data(), split);
+    // Frames fully contained in the prefix must already come out ...
+    size_t seen = 0;
+    Message msg;
+    uint64_t seq = 0;
+    while (reader.Next(&msg, &seq) == FrameReader::Result::kFrame) {
+      EXPECT_EQ(seq, seen + 1);
+      ExpectSameMessage(msg, msgs[seen]);
+      ++seen;
+    }
+    ASSERT_TRUE(reader.error().empty()) << "split at " << split;
+    // ... and the remainder completes the rest, byte-identically.
+    reader.Append(stream.data() + split, stream.size() - split);
+    ExpectDecodesAll(&reader, msgs, seen, msgs.size() - seen);
+  }
+}
+
+TEST(ServiceFraming, OneByteAtATime) {
+  std::vector<Message> msgs = SampleMessages();
+  std::vector<uint8_t> stream = EncodeAll(msgs, nullptr);
+  FrameReader reader;
+  size_t seen = 0;
+  Message msg;
+  uint64_t seq = 0;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    reader.Append(&stream[i], 1);
+    while (reader.Next(&msg, &seq) == FrameReader::Result::kFrame) {
+      ExpectSameMessage(msg, msgs[seen]);
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, msgs.size());
+}
+
+TEST(ServiceFraming, CoalescedPairsArriveTogether) {
+  std::vector<Message> msgs = SampleMessages();
+  std::vector<size_t> boundaries;
+  std::vector<uint8_t> stream = EncodeAll(msgs, &boundaries);
+  // Feed two whole frames per Append (the classic coalesced read).
+  FrameReader reader;
+  size_t fed = 0;
+  size_t seen = 0;
+  for (size_t i = 1; i < boundaries.size(); i += 2) {
+    reader.Append(stream.data() + fed, boundaries[i] - fed);
+    fed = boundaries[i];
+    Message msg;
+    uint64_t seq = 0;
+    while (reader.Next(&msg, &seq) == FrameReader::Result::kFrame) {
+      ExpectSameMessage(msg, msgs[seen]);
+      ++seen;
+    }
+  }
+  reader.Append(stream.data() + fed, stream.size() - fed);
+  ExpectDecodesAll(&reader, msgs, seen, msgs.size() - seen);
+}
+
+TEST(ServiceFraming, MatchesInMemoryDecodeByteForByte) {
+  std::vector<Message> msgs = SampleMessages();
+  std::vector<size_t> boundaries;
+  std::vector<uint8_t> stream = EncodeAll(msgs, &boundaries);
+  FrameReader reader;
+  reader.Append(stream.data(), stream.size());
+  size_t begin = 0;
+  for (size_t i = 0; i < msgs.size(); ++i) {
+    Message via_reader, via_memory;
+    uint64_t seq_reader = 0, seq_memory = 0;
+    ASSERT_EQ(reader.Next(&via_reader, &seq_reader),
+              FrameReader::Result::kFrame);
+    ASSERT_TRUE(DecodeFrame(stream.data() + begin, boundaries[i] - begin,
+                            &via_memory, &seq_memory));
+    EXPECT_EQ(seq_reader, seq_memory);
+    ExpectSameMessage(via_reader, via_memory);
+    begin = boundaries[i];
+  }
+}
+
+TEST(ServiceFraming, BadMagicLatchesPermanentError) {
+  std::vector<Message> msgs = SampleMessages();
+  std::vector<uint8_t> stream = EncodeAll(msgs, nullptr);
+  stream[0] ^= 0xFF;
+  FrameReader reader;
+  reader.Append(stream.data(), stream.size());
+  Message msg;
+  uint64_t seq = 0;
+  EXPECT_EQ(reader.Next(&msg, &seq), FrameReader::Result::kError);
+  EXPECT_FALSE(reader.error().empty());
+  // Permanent: more bytes do not clear it.
+  reader.Append(stream.data(), stream.size());
+  EXPECT_EQ(reader.Next(&msg, &seq), FrameReader::Result::kError);
+}
+
+TEST(ServiceFraming, CorruptCrcLatchesError) {
+  std::vector<Message> msgs = SampleMessages();
+  std::vector<size_t> boundaries;
+  std::vector<uint8_t> stream = EncodeAll(msgs, &boundaries);
+  stream[boundaries[0] - 1] ^= 0x01;  // last CRC byte of frame 0
+  FrameReader reader;
+  reader.Append(stream.data(), stream.size());
+  Message msg;
+  uint64_t seq = 0;
+  EXPECT_EQ(reader.Next(&msg, &seq), FrameReader::Result::kError);
+}
+
+TEST(ServiceFraming, WrongVersionRejected) {
+  std::vector<Message> msgs = SampleMessages();
+  std::vector<uint8_t> stream = EncodeAll(msgs, nullptr);
+  stream[4] ^= 0xFF;  // version field (header bytes 4..5)
+  FrameReader reader;
+  reader.Append(stream.data(), stream.size());
+  Message msg;
+  uint64_t seq = 0;
+  EXPECT_EQ(reader.Next(&msg, &seq), FrameReader::Result::kError);
+}
+
+TEST(ServiceFraming, TruncatedStreamStaysHungry) {
+  std::vector<Message> msgs = SampleMessages();
+  std::vector<uint8_t> stream = EncodeAll(msgs, nullptr);
+  FrameReader reader;
+  reader.Append(stream.data(), sim::wire::kHeaderBytes - 1);
+  Message msg;
+  uint64_t seq = 0;
+  EXPECT_EQ(reader.Next(&msg, &seq), FrameReader::Result::kNeed);
+  EXPECT_EQ(reader.buffered(), sim::wire::kHeaderBytes - 1);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace disttrack

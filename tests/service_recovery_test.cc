@@ -1,0 +1,250 @@
+// Site kill + reconnect mid-run, test-pinned: a site hard-crashes
+// (_exit(7), no flush, no goodbye) partway through its shard, a
+// replacement process resumes — from its snapshot when one exists, from
+// position zero otherwise — and the run must end indistinguishable from
+// an uninterrupted one: estimates bit-identical to the serial replay of
+// the grant journal, and the §1.1 paper ledger equal to the serial
+// CommMeter to the message. That equality IS the no-double-counting
+// proof: replayed frames re-arrive with their original sequence numbers
+// and the coordinator's dedup watermark drops every one (the stats must
+// show them as duplicates, not as paper traffic).
+//
+// Fork-based like service_session_test.cc; skipped under TSan.
+
+#include <signal.h>
+#include <stdlib.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "disttrack/count/randomized_count.h"
+#include "disttrack/rank/randomized_rank.h"
+#include "disttrack/service/coordinator.h"
+#include "disttrack/service/options.h"
+#include "disttrack/service/site_runtime.h"
+#include "disttrack/sim/wire.h"
+
+namespace disttrack {
+namespace service {
+namespace {
+
+using sim::wire::Message;
+using sim::wire::MsgType;
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DISTTRACK_TSAN 1
+#endif
+#endif
+
+#ifndef DISTTRACK_TSAN
+#define DISTTRACK_TSAN 0
+#endif
+
+uint64_t Bits(double d) {
+  uint64_t bits = 0;
+  memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+class RecoveryFleet {
+ public:
+  explicit RecoveryFleet(const ServiceOptions& options)
+      : options_(options), coordinator_(options) {
+    char tmpl[] = "/tmp/disttrack_recovery_XXXXXX";
+    const char* dir = mkdtemp(tmpl);
+    EXPECT_NE(dir, nullptr);
+    snapshot_dir_ = dir == nullptr ? "." : dir;
+  }
+
+  ~RecoveryFleet() {
+    for (pid_t pid : pids_) {
+      if (pid > 0) kill(pid, SIGKILL);
+    }
+    for (pid_t pid : pids_) {
+      if (pid > 0) waitpid(pid, nullptr, 0);
+    }
+  }
+
+  void StartSite(int site, uint64_t crash_after = 0) {
+    int fds[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      close(fds[0]);
+      for (int fd : parent_fds_) close(fd);
+      SiteRuntime::Config config;
+      config.options = options_;
+      config.site = site;
+      config.snapshot_dir = snapshot_dir_;
+      config.crash_after = crash_after;
+      config.connected_fd = fds[1];
+      SiteRuntime runtime(config);
+      _exit(runtime.Run());
+    }
+    close(fds[1]);
+    parent_fds_.push_back(fds[0]);
+    coordinator_.AdoptConnection(fds[0]);
+    if (static_cast<size_t>(site) >= pids_.size()) {
+      pids_.resize(static_cast<size_t>(site) + 1, -1);
+    }
+    pids_[static_cast<size_t>(site)] = pid;
+  }
+
+  /// Pumps until the crash-armed site dies; expects the deterministic
+  /// crash code.
+  void AwaitCrash(int site) {
+    pid_t pid = pids_[static_cast<size_t>(site)];
+    int status = 0;
+    bool exited = false;
+    for (int i = 0; i < 20000 && !exited; ++i) {
+      exited = waitpid(pid, &status, WNOHANG) == pid;
+      if (!exited) coordinator_.PollOnce(5);
+    }
+    ASSERT_TRUE(exited) << "armed site never crashed";
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 7);
+    pids_[static_cast<size_t>(site)] = -1;
+    // Drain the dead connection's EOF so the session is marked down
+    // before the replacement joins.
+    for (int i = 0; i < 50; ++i) coordinator_.PollOnce(5);
+  }
+
+  template <typename Predicate>
+  bool PumpUntil(Predicate done, int max_rounds = 20000) {
+    for (int i = 0; i < max_rounds; ++i) {
+      if (done()) return true;
+      EXPECT_GE(coordinator_.PollOnce(5), 0);
+    }
+    return done();
+  }
+
+  Coordinator& coordinator() { return coordinator_; }
+  const std::string& snapshot_dir() const { return snapshot_dir_; }
+
+ private:
+  ServiceOptions options_;
+  Coordinator coordinator_;
+  std::string snapshot_dir_;
+  std::vector<int> parent_fds_;
+  std::vector<pid_t> pids_;
+};
+
+Message Ask(const Coordinator& coordinator, uint64_t kind, uint64_t b = 0) {
+  Message query;
+  query.type = MsgType::kQuery;
+  query.a = kind;
+  query.b = b;
+  return coordinator.Query(query);
+}
+
+/// Runs a 4-site count fleet with site 2 crashing after `crash_after`
+/// arrivals, recovers it, and pins bit-identity + paper-ledger equality.
+void RunCountCrash(uint64_t crash_after, uint64_t snapshot_every) {
+  ServiceOptions options;
+  options.tracker = TrackerKind::kCount;
+  options.num_sites = 4;
+  options.total_arrivals = 6000;
+  options.grant_max = 256;
+  options.snapshot_every = snapshot_every;
+  RecoveryFleet fleet(options);
+  for (int site = 0; site < 4; ++site) {
+    fleet.StartSite(site, site == 2 ? crash_after : 0);
+  }
+  fleet.AwaitCrash(2);
+  fleet.StartSite(2);  // replacement: resumes from snapshot if present
+  ASSERT_TRUE(
+      fleet.PumpUntil([&] { return fleet.coordinator().AllSitesDone(); }));
+
+  const Coordinator::Stats& stats = fleet.coordinator().stats();
+  EXPECT_EQ(stats.rejoins, 1u);
+  std::vector<uint64_t> s = Ask(fleet.coordinator(), kQueryStats).values;
+  EXPECT_GE(s[11], 1u) << "recovery replay produced no duplicate frames";
+  EXPECT_EQ(s[17], 1u) << "wire-byte ledger broken after recovery";
+
+  Message journal = Ask(fleet.coordinator(), kQueryJournal);
+  count::RandomizedCountTracker serial(options.CountOptions());
+  uint64_t replayed = 0;
+  for (size_t i = 0; i + 1 < journal.values.size(); i += 2) {
+    for (uint64_t j = 0; j < journal.values[i + 1]; ++j) {
+      serial.Arrive(static_cast<int>(journal.values[i]));
+      ++replayed;
+    }
+  }
+  EXPECT_EQ(replayed, options.total_arrivals)
+      << "grant journal lost or double-granted arrivals across the crash";
+
+  // No double counting, to the message and to the word: replayed frames
+  // were deduplicated, never re-charged.
+  EXPECT_EQ(stats.paper_messages, serial.meter().TotalMessages());
+  EXPECT_EQ(stats.paper_words, serial.meter().TotalWords());
+  EXPECT_EQ(stats.broadcasts, serial.meter().broadcast_count());
+  Message estimate = Ask(fleet.coordinator(), kQueryCount);
+  EXPECT_EQ(estimate.values[0], Bits(serial.EstimateCount()))
+      << "estimate diverged from the serial replay after recovery";
+  EXPECT_GT(estimate.values[1], 0u);  // n' advanced past the crash
+}
+
+TEST(ServiceRecovery, CrashBeforeFirstSnapshotReplaysFromZero) {
+  if (DISTTRACK_TSAN) GTEST_SKIP() << "fork-based test, skipped under TSan";
+  // Crash at 300 arrivals, snapshots every 512 (none taken yet): the
+  // replacement replays the whole shard; dedup swallows the prefix.
+  RunCountCrash(/*crash_after=*/300, /*snapshot_every=*/512);
+}
+
+TEST(ServiceRecovery, CrashAfterSnapshotResumesFromIt) {
+  if (DISTTRACK_TSAN) GTEST_SKIP() << "fork-based test, skipped under TSan";
+  // Crash at 700 arrivals with a snapshot at the 512-boundary: the
+  // replacement restores it and replays only the tail.
+  RunCountCrash(/*crash_after=*/700, /*snapshot_every=*/256);
+}
+
+TEST(ServiceRecovery, RankSiteRecoversMidRun) {
+  if (DISTTRACK_TSAN) GTEST_SKIP() << "fork-based test, skipped under TSan";
+  ServiceOptions options;
+  options.tracker = TrackerKind::kRank;
+  options.num_sites = 4;
+  options.total_arrivals = 6000;
+  options.grant_max = 256;
+  options.snapshot_every = 256;
+  RecoveryFleet fleet(options);
+  for (int site = 0; site < 4; ++site) {
+    fleet.StartSite(site, site == 1 ? 900 : 0);
+  }
+  fleet.AwaitCrash(1);
+  fleet.StartSite(1);
+  ASSERT_TRUE(
+      fleet.PumpUntil([&] { return fleet.coordinator().AllSitesDone(); }));
+
+  Message journal = Ask(fleet.coordinator(), kQueryJournal);
+  rank::RandomizedRankTracker serial(options.RankOptions());
+  std::vector<uint64_t> position(4, 0);
+  for (size_t i = 0; i + 1 < journal.values.size(); i += 2) {
+    int site = static_cast<int>(journal.values[i]);
+    for (uint64_t j = 0; j < journal.values[i + 1]; ++j) {
+      serial.Arrive(site, WorkloadKey(options, site,
+                                      position[static_cast<size_t>(site)]++));
+    }
+  }
+  for (int i = 1; i <= 4; ++i) {
+    uint64_t value = options.universe / 5 * static_cast<uint64_t>(i);
+    Message rank = Ask(fleet.coordinator(), kQueryRank, value);
+    EXPECT_EQ(rank.values[0], Bits(serial.EstimateRank(value)))
+        << "rank estimate at " << value << " diverged after recovery";
+  }
+  EXPECT_EQ(fleet.coordinator().stats().paper_messages,
+            serial.meter().TotalMessages());
+  EXPECT_EQ(fleet.coordinator().stats().paper_words,
+            serial.meter().TotalWords());
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace disttrack
