@@ -23,7 +23,6 @@
 // Both produce the same checkpoint schedule and ±eps-accurate estimates,
 // so the ratio isolates the delivery + sampling engine.
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "disttrack/core/tracking.h"
 #include "disttrack/frequency/randomized_frequency.h"
 #include "disttrack/sim/cluster.h"
@@ -67,11 +67,7 @@ int Cores() {
   return hc == 0 ? 1 : static_cast<int>(hc);
 }
 
-double Now() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+double Now() { return bench::NowSeconds(); }
 
 // The pre-fast-path replay loop, kept verbatim as the A/B baseline: one
 // virtual Arrive() per element, per-element geometric-checkpoint test.

@@ -6,6 +6,7 @@
 #ifndef DISTTRACK_BENCH_BENCH_UTIL_H_
 #define DISTTRACK_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -20,6 +21,17 @@
 
 namespace disttrack {
 namespace bench {
+
+/// Monotonic wall-clock seconds. THE bench timer: the only sanctioned
+/// clock read in the tree — scripts/check_invariants.py (rule
+/// banned-source) bans time/randomness sources everywhere outside
+/// common/random.* and this file, because replay must be a pure
+/// function of (workload, seed).
+inline double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Everything a bench needs to report about one run.
 struct RunResult {

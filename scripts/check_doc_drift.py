@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Doc-drift guard: fail CI when the normative docs fall behind the code.
 
-Two cross-checks, both exact:
+Three cross-checks, all exact:
 
 1. docs/WIRE_PROTOCOL.md's message-type table vs the MsgType enum in
    src/disttrack/sim/wire.h — same names, same values, nothing missing
@@ -14,9 +14,17 @@ Two cross-checks, both exact:
    documented. (Thread-scaling rows are families: the bench emits
    cluster_t<N>/online_t<N>, the README writes cluster_t⟨N⟩.)
 
+3. docs/OPERATIONS.md's exit-code table vs the service binaries — the
+   set of `return N;` / `_exit(N)` codes in the coordinator main +
+   Coordinator::RunUntilShutdown, and the site main +
+   SiteRuntime::Run, must equal the documented (code, binary) rows
+   ("both" rows must be reachable from both binaries).
+
 No dependencies beyond the standard library; run from anywhere:
 
     python3 scripts/check_doc_drift.py
+
+Also runs as part of `python3 scripts/check_invariants.py --all`.
 """
 
 import pathlib
@@ -28,6 +36,17 @@ WIRE_H = ROOT / "src" / "disttrack" / "sim" / "wire.h"
 WIRE_DOC = ROOT / "docs" / "WIRE_PROTOCOL.md"
 README = ROOT / "README.md"
 BENCH = ROOT / "bench" / "bench_throughput.cpp"
+OPERATIONS = ROOT / "docs" / "OPERATIONS.md"
+# Exit codes flow from two layers per binary: the flag-parsing main and
+# the runtime loop it tail-returns.
+COORDINATOR_SOURCES = (
+    ROOT / "service" / "disttrack_coordinator.cpp",
+    ROOT / "src" / "disttrack" / "service" / "coordinator.cc",
+)
+SITE_SOURCES = (
+    ROOT / "service" / "disttrack_site.cpp",
+    ROOT / "src" / "disttrack" / "service" / "site_runtime.cc",
+)
 
 errors = []
 
@@ -161,22 +180,82 @@ def check_delivery_paths():
             )
 
 
-def main():
-    for path in (WIRE_H, WIRE_DOC, README, BENCH):
+def source_exit_codes(paths):
+    """All numeric `return N;` / `_exit(N)` codes across `paths`.
+
+    In the four service sources every numeric return IS a process exit
+    code (the mains tail-return the runtime loops, and the library
+    files' only numeric returns are the loop results) — a property the
+    check itself enforces in the cheapest way possible: a stray numeric
+    return in a helper would show up as an undocumented code.
+    """
+    codes = set()
+    for path in paths:
+        text = path.read_text(encoding="utf-8")
+        for code in re.findall(r"\breturn (\d+);", text):
+            codes.add(int(code))
+        for code in re.findall(r"\b_exit\((\d+)\)", text):
+            codes.add(int(code))
+    return codes
+
+
+def parse_doc_exit_codes(text):
+    """(code, binary) rows of the OPERATIONS.md exit-code table."""
+    m = re.search(r"## Exit codes(.*?)\n## ", text, re.S)
+    if not m:
+        fail(f"{OPERATIONS}: could not find the '## Exit codes' section")
+        return []
+    rows = [(int(code), binary) for code, binary in
+            re.findall(r"^\|\s*(\d+)\s*\|\s*(both|site|coordinator)\s*\|",
+                       m.group(1), re.M)]
+    if not rows:
+        fail(f"{OPERATIONS}: exit-code table parsed to zero rows")
+    return rows
+
+
+def check_exit_codes():
+    doc = OPERATIONS.read_text(encoding="utf-8")
+    rows = parse_doc_exit_codes(doc)
+    actual = {
+        "coordinator": source_exit_codes(COORDINATOR_SOURCES),
+        "site": source_exit_codes(SITE_SOURCES),
+    }
+    documented = {"coordinator": set(), "site": set()}
+    for code, binary in rows:
+        binaries = (["coordinator", "site"] if binary == "both"
+                    else [binary])
+        for b in binaries:
+            documented[b].add(code)
+            if code not in actual[b]:
+                fail(f"{OPERATIONS}: documents exit code {code} for "
+                     f"'{binary}', but the {b} sources never return it")
+    for b, codes in actual.items():
+        for code in sorted(codes - documented[b]):
+            fail(f"{OPERATIONS}: {b} can exit with code {code}, missing "
+                 f"from the exit-code table")
+
+
+def run():
+    """All checks; prints a report and returns a process exit code."""
+    del errors[:]
+    required = (WIRE_H, WIRE_DOC, README, BENCH, OPERATIONS,
+                *COORDINATOR_SOURCES, *SITE_SOURCES)
+    for path in required:
         if not path.exists():
             fail(f"missing file: {path}")
     if not errors:
         check_wire_protocol()
         check_delivery_paths()
+        check_exit_codes()
     if errors:
         for msg in errors:
             print(f"doc-drift: {msg}", file=sys.stderr)
         print(f"doc-drift: {len(errors)} error(s)", file=sys.stderr)
         return 1
-    print("doc-drift: wire-protocol table and delivery-paths table both "
-          "match the source")
+    print("doc-drift: wire-protocol table, delivery-paths table, and "
+          "exit-code table all match the source")
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(run())

@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""clang-tidy ratchet: new findings fail, shrinking the baseline passes.
+
+The check set lives in .clang-tidy (curated: bugprone/concurrency/
+performance/cert/misc-const-correctness). Rather than block on a
+zero-findings bar no one will fund in one PR, the committed
+tidy_baseline.json records the accepted per-(file, check) finding
+counts. The gate is monotone:
+
+  * a (file, check) count above its baseline entry fails — you added a
+    finding, fix it or (rarely) re-freeze with review;
+  * counts at or below the baseline pass — and when you fix findings,
+    run --freeze so the baseline shrinks and the fixes can't regress.
+
+Modes:
+
+  --check   (default) run clang-tidy, compare against the baseline
+  --freeze  run clang-tidy, rewrite the baseline from what it reports
+  --prune   drop baseline entries for files that no longer exist
+  --verify-files  stdlib-only staleness guard: every file named in the
+            baseline must exist (CI hygiene runs this; it needs no
+            clang-tidy, so it works in every environment)
+
+Requires a compile database:  cmake -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+When clang-tidy is not installed, --check/--freeze print a SKIPPED
+notice and exit 0 so local environments without LLVM aren't blocked;
+CI passes --require to turn that skip into a failure.
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE = ROOT / "tidy_baseline.json"
+
+_TIDY_NAMES = ("clang-tidy", "clang-tidy-18", "clang-tidy-17",
+               "clang-tidy-16", "clang-tidy-15", "clang-tidy-14")
+
+# clang-tidy diagnostic line:  path:line:col: warning: text [check-name]
+_DIAG_RE = re.compile(
+    r"^(?P<path>[^:\s][^:]*):\d+:\d+:\s+(?:warning|error):\s.*"
+    r"\[(?P<checks>[a-z0-9.,-]+)\]\s*$")
+
+
+def find_clang_tidy():
+    for name in _TIDY_NAMES:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def load_baseline():
+    if not BASELINE.exists():
+        return {"meta": {}, "findings": {}}
+    return json.loads(BASELINE.read_text(encoding="utf-8"))
+
+
+def library_sources(root):
+    return sorted(p for p in (root / "src" / "disttrack").rglob("*.cc"))
+
+
+def run_clang_tidy(tidy, build_dir, root):
+    """Per-(relpath, check) finding counts over the library sources."""
+    counts = {}
+    for src in library_sources(root):
+        proc = subprocess.run(
+            [tidy, "-p", str(build_dir), "--quiet", str(src)],
+            capture_output=True, text=True)
+        for line in proc.stdout.splitlines():
+            m = _DIAG_RE.match(line)
+            if not m:
+                continue
+            try:
+                path = pathlib.Path(m.group("path")).resolve()
+                rel = path.relative_to(root).as_posix()
+            except ValueError:
+                continue  # header outside the repo
+            if not rel.startswith("src/disttrack/"):
+                continue
+            for check in m.group("checks").split(","):
+                key = counts.setdefault(rel, {})
+                key[check] = key.get(check, 0) + 1
+    return counts
+
+
+def compare(current, baseline_findings):
+    """(regressions, improvements) vs the baseline."""
+    regressions, improvements = [], []
+    files = set(current) | set(baseline_findings)
+    for rel in sorted(files):
+        cur = current.get(rel, {})
+        base = baseline_findings.get(rel, {})
+        for check in sorted(set(cur) | set(base)):
+            c, b = cur.get(check, 0), base.get(check, 0)
+            if c > b:
+                regressions.append((rel, check, b, c))
+            elif c < b:
+                improvements.append((rel, check, b, c))
+    return regressions, improvements
+
+
+def verify_baseline_files(root):
+    """Every file the baseline references must still exist. rc 0/1."""
+    if not BASELINE.exists():
+        print("tidy-ratchet: no tidy_baseline.json, nothing to verify")
+        return 0
+    baseline = json.loads(BASELINE.read_text(encoding="utf-8"))
+    stale = [rel for rel in baseline.get("findings", {})
+             if not (root / rel).exists()]
+    for rel in stale:
+        print(f"tidy-ratchet: baseline references deleted file {rel} — "
+              f"run scripts/tidy_ratchet.py --prune", file=sys.stderr)
+    if not stale:
+        print(f"tidy-ratchet: baseline files ok "
+              f"({len(baseline.get('findings', {}))} entries)")
+    return 1 if stale else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--freeze", action="store_true",
+                      help="rewrite the baseline from current findings")
+    mode.add_argument("--prune", action="store_true",
+                      help="drop baseline entries for deleted files")
+    mode.add_argument("--verify-files", action="store_true",
+                      help="check baseline file references (no clang-tidy)")
+    parser.add_argument("--build-dir", type=pathlib.Path,
+                        default=ROOT / "build",
+                        help="build tree with compile_commands.json")
+    parser.add_argument("--require", action="store_true",
+                        help="fail (rather than skip) if clang-tidy is "
+                             "missing — CI sets this")
+    args = parser.parse_args()
+
+    if args.verify_files:
+        return verify_baseline_files(ROOT)
+
+    if args.prune:
+        baseline = load_baseline()
+        findings = baseline.get("findings", {})
+        kept = {rel: checks for rel, checks in findings.items()
+                if (ROOT / rel).exists()}
+        dropped = sorted(set(findings) - set(kept))
+        baseline["findings"] = kept
+        BASELINE.write_text(json.dumps(baseline, indent=2, sort_keys=True)
+                            + "\n", encoding="utf-8")
+        for rel in dropped:
+            print(f"tidy-ratchet: pruned {rel}")
+        print(f"tidy-ratchet: {len(dropped)} entr(ies) pruned")
+        return 0
+
+    tidy = find_clang_tidy()
+    if tidy is None:
+        if args.require:
+            print("tidy-ratchet: clang-tidy not found and --require set",
+                  file=sys.stderr)
+            return 1
+        print("tidy-ratchet: SKIPPED — clang-tidy not installed "
+              "(CI runs this with --require)")
+        return 0
+
+    compile_db = args.build_dir / "compile_commands.json"
+    if not compile_db.exists():
+        print(f"tidy-ratchet: {compile_db} missing — configure with "
+              f"-DCMAKE_EXPORT_COMPILE_COMMANDS=ON", file=sys.stderr)
+        return 1
+
+    version = subprocess.run([tidy, "--version"], capture_output=True,
+                             text=True).stdout.strip().splitlines()
+    current = run_clang_tidy(tidy, args.build_dir, ROOT)
+    total = sum(sum(c.values()) for c in current.values())
+
+    if args.freeze:
+        baseline = {
+            "meta": {
+                "tool": version[-1] if version else "clang-tidy",
+                "note": "Accepted per-(file, check) finding counts. "
+                        "New findings fail CI; fix findings and re-run "
+                        "--freeze to ratchet the baseline down.",
+            },
+            "findings": current,
+        }
+        BASELINE.write_text(json.dumps(baseline, indent=2, sort_keys=True)
+                            + "\n", encoding="utf-8")
+        print(f"tidy-ratchet: froze baseline with {total} finding(s) in "
+              f"{len(current)} file(s)")
+        return 0
+
+    baseline = load_baseline()
+    regressions, improvements = compare(current,
+                                        baseline.get("findings", {}))
+    for rel, check, base, cur in regressions:
+        print(f"tidy-ratchet: {rel}: {check}: {cur} finding(s), baseline "
+              f"allows {base}", file=sys.stderr)
+    for rel, check, base, cur in improvements:
+        print(f"tidy-ratchet: {rel}: {check}: improved {base} -> {cur} — "
+              f"run --freeze to lock it in")
+    print(f"tidy-ratchet: {total} finding(s), {len(regressions)} "
+          f"regression(s), {len(improvements)} improvement(s)")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+// Deterministic drains for hash containers.
+//
+// Iterating a std::unordered_map/set visits elements in hash-layout
+// order — a function of the library version, the bucket count history,
+// and the insertion sequence. Any replay/estimate/emit path that walks
+// one leaks that order into message sequences, exports, or folds, which
+// is exactly the nondeterminism class PR 4 excised from rank's hot path.
+// scripts/check_invariants.py (rule unordered-iter) therefore forbids
+// iterating unordered containers anywhere in src/; these helpers are the
+// one sanctioned walk. They visit the container once, then hand back
+// key-sorted data, so every caller observes site-independent,
+// platform-independent order.
+//
+// Cost is O(n log n) against the container's O(n) walk; callers are
+// export/broadcast/snapshot paths where n is a summary size, not the
+// stream length.
+
+#ifndef DISTTRACK_COMMON_ORDERED_DRAIN_H_
+#define DISTTRACK_COMMON_ORDERED_DRAIN_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace disttrack {
+namespace common {
+
+/// Keys of an associative container, sorted ascending.
+template <typename Container>
+std::vector<typename Container::key_type> SortedKeys(const Container& c) {
+  std::vector<typename Container::key_type> keys;
+  keys.reserve(c.size());
+  // The sanctioned hash-order walk: it only feeds the sort below, so the
+  // order handed to callers is independent of hash layout.
+  for (const auto& entry : c) keys.push_back(entry.first);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// (key, mapped) pairs of a map-like container, sorted ascending by key.
+template <typename Container>
+std::vector<std::pair<typename Container::key_type,
+                      typename Container::mapped_type>>
+SortedItems(const Container& c) {
+  std::vector<std::pair<typename Container::key_type,
+                        typename Container::mapped_type>>
+      items;
+  items.reserve(c.size());
+  // The sanctioned hash-order walk: it only feeds the sort below, so the
+  // order handed to callers is independent of hash layout.
+  for (const auto& entry : c) items.emplace_back(entry.first, entry.second);
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return items;
+}
+
+}  // namespace common
+}  // namespace disttrack
+
+#endif  // DISTTRACK_COMMON_ORDERED_DRAIN_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "disttrack/common/ordered_drain.h"
+
 namespace disttrack {
 namespace frequency {
 
@@ -65,11 +67,14 @@ void DeterministicFrequencyTracker::MaybeReport(int site, uint64_t item) {
 void DeterministicFrequencyTracker::SweepAfterDecrement(int site) {
   SiteState& s = sites_[static_cast<size_t>(site)];
   // A decrement-all event changed every tracked counter; also, counters may
-  // have been evicted entirely. Check every mirrored or tracked item once.
-  std::vector<uint64_t> to_check;
-  to_check.reserve(s.mirror.size() + s.sketch->NumCounters());
-  for (const auto& [item, _] : s.mirror) to_check.push_back(item);
+  // have been evicted entirely. Check every mirrored or tracked item once,
+  // in item order: the sweep emits site->coordinator reports, so its visit
+  // order is message order and must not depend on the mirror's hash layout.
+  std::vector<uint64_t> to_check = common::SortedKeys(s.mirror);
   for (const auto& [item, _] : s.sketch->Items()) to_check.push_back(item);
+  std::sort(to_check.begin(), to_check.end());
+  to_check.erase(std::unique(to_check.begin(), to_check.end()),
+                 to_check.end());
   for (uint64_t item : to_check) MaybeReport(site, item);
 }
 
@@ -93,9 +98,7 @@ void DeterministicFrequencyTracker::FlushSite(int site) {
   SiteState& s = sites_[static_cast<size_t>(site)];
   // Report every item whose mirror is stale, so the completed round is
   // recorded exactly as the sketch saw it.
-  std::vector<uint64_t> to_check;
-  to_check.reserve(s.mirror.size() + s.sketch->NumCounters());
-  for (const auto& [item, _] : s.mirror) to_check.push_back(item);
+  std::vector<uint64_t> to_check = common::SortedKeys(s.mirror);
   for (const auto& [item, _] : s.sketch->Items()) to_check.push_back(item);
   std::sort(to_check.begin(), to_check.end());
   to_check.erase(std::unique(to_check.begin(), to_check.end()),
@@ -119,7 +122,9 @@ void DeterministicFrequencyTracker::OnBroadcast(uint64_t /*round*/,
   // Close the previous round: flush all sites, fold live totals into the
   // frozen per-item sums, and open a fresh round with the new threshold.
   for (int i = 0; i < options_.num_sites; ++i) FlushSite(i);
-  for (const auto& [item, total] : live_totals_) {
+  // Item-order fold (the additions commute, but draining in hash order
+  // would still leak layout into frozen_'s growth history for free).
+  for (const auto& [item, total] : common::SortedItems(live_totals_)) {
     if (total > 0) frozen_[item] += static_cast<uint64_t>(total);
   }
   live_totals_.clear();

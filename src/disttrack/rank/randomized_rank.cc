@@ -594,6 +594,9 @@ void RandomizedRankTracker::ShardEpochBegin(uint64_t arrivals_in_epoch) {
 // the serial engine resyncs (checkpoint batch ends and broadcasts) — so
 // the sort/ladder/compaction schedule, and with it the site's RNG
 // consumption, is identical and the replay stays bit-exact.
+// disttrack-lint: allow(site-check) -- shard-internal: every id was
+// validated by SiteGrouper (CheckSiteInRange aborts) before the epoch
+// was partitioned onto workers; the worker replays a pre-checked span.
 void RandomizedRankTracker::ShardArriveRun(int site, const uint64_t* keys,
                                            const uint32_t* /*global_index*/,
                                            size_t count) {
@@ -624,6 +627,10 @@ void RandomizedRankTracker::ShardEpochEnd() {
     }
     sink.coarse_deltas.clear();
     if (sink.messages > 0) {
+      // disttrack-lint: allow(meter-tap) -- shard-fold: the serial
+      // path charges and taps per message; the fold replays the
+      // epoch's deferred charges in bulk, and taps never run on the
+      // sharded path (only the serial runtimes install one).
       meter_.RecordUploadBulk(i, sink.messages, sink.words);
       sink.messages = 0;
       sink.words = 0;

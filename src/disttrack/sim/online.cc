@@ -120,6 +120,9 @@ void OnlineKeyedSession::SerialBatch(const Arrival* arrivals, size_t count) {
   }
 }
 
+// disttrack-lint: allow(site-check) -- both branches validate downstream:
+// the serial fallback enters the tracker's ArriveBatch (which checks),
+// and PushImpl routes every chunk through SiteGrouper::ScatterBySite.
 void OnlineKeyedSession::Push(const Arrival* arrivals, size_t count) {
   if (count == 0) return;
   if (ingest_ == nullptr) {

@@ -62,13 +62,68 @@ uint64_t GetU64(const uint8_t* p) {
   return v;
 }
 
+// The three per-type dispatch functions below (HasVectors, KnownType,
+// PaperWordCharge) each switch over every MsgType enumerator with no
+// default label: adding a type to wire.h without deciding its payload
+// shape, validity range, and §1.1 charge is a -Wswitch/-Werror compile
+// error here, and scripts/check_invariants.py additionally requires
+// every enumerator to appear in all three switches (rule wire-switch).
+
 bool HasVectors(MsgType type) {
-  return type == MsgType::kRankSummary || type == MsgType::kQueryResult;
+  switch (type) {
+    case MsgType::kRankSummary:
+    case MsgType::kQueryResult:
+      return true;
+    case MsgType::kCoarseReport:
+    case MsgType::kCoinReport:
+    case MsgType::kCorrection:
+    case MsgType::kBroadcast:
+    case MsgType::kSplitNotice:
+    case MsgType::kCounterReport:
+    case MsgType::kSampleForward:
+    case MsgType::kRankResidual:
+    case MsgType::kAck:
+    case MsgType::kHello:
+    case MsgType::kJoin:
+    case MsgType::kJoinAck:
+    case MsgType::kGrantRequest:
+    case MsgType::kGrant:
+    case MsgType::kGrantDone:
+    case MsgType::kNoBroadcast:
+    case MsgType::kRitualAck:
+    case MsgType::kQuery:
+    case MsgType::kShutdown:
+      return false;
+  }
+  return false;  // unreachable for in-range types; decode rejects the rest
 }
 
 bool KnownType(uint8_t raw_type) {
-  return raw_type >= static_cast<uint8_t>(MsgType::kCoarseReport) &&
-         raw_type <= static_cast<uint8_t>(MsgType::kShutdown);
+  switch (static_cast<MsgType>(raw_type)) {
+    case MsgType::kCoarseReport:
+    case MsgType::kCoinReport:
+    case MsgType::kCorrection:
+    case MsgType::kBroadcast:
+    case MsgType::kSplitNotice:
+    case MsgType::kCounterReport:
+    case MsgType::kSampleForward:
+    case MsgType::kRankSummary:
+    case MsgType::kRankResidual:
+    case MsgType::kAck:
+    case MsgType::kHello:
+    case MsgType::kJoin:
+    case MsgType::kJoinAck:
+    case MsgType::kGrantRequest:
+    case MsgType::kGrant:
+    case MsgType::kGrantDone:
+    case MsgType::kNoBroadcast:
+    case MsgType::kRitualAck:
+    case MsgType::kQuery:
+    case MsgType::kQueryResult:
+    case MsgType::kShutdown:
+      return true;
+  }
+  return false;  // any byte value not naming an enumerator
 }
 
 size_t PayloadBytes(const Message& msg) {
@@ -83,15 +138,35 @@ size_t PayloadBytes(const Message& msg) {
 }  // namespace
 
 uint64_t PaperWordCharge(const Message& msg, int num_sites) {
-  if (msg.type == MsgType::kAck || msg.type == MsgType::kHello ||
-      msg.type >= MsgType::kJoin) {
-    return 0;  // transport / service plane: outside the §1.1 model
-  }
   uint64_t per_message = std::max<uint64_t>(1, msg.paper_words);
-  if (msg.type == MsgType::kBroadcast) {
-    return per_message * static_cast<uint64_t>(num_sites);
+  switch (msg.type) {
+    case MsgType::kAck:
+    case MsgType::kHello:
+    case MsgType::kJoin:
+    case MsgType::kJoinAck:
+    case MsgType::kGrantRequest:
+    case MsgType::kGrant:
+    case MsgType::kGrantDone:
+    case MsgType::kNoBroadcast:
+    case MsgType::kRitualAck:
+    case MsgType::kQuery:
+    case MsgType::kQueryResult:
+    case MsgType::kShutdown:
+      return 0;  // transport / service plane: outside the §1.1 model
+    case MsgType::kBroadcast:
+      // One broadcast reaches all k sites; the paper charges k words.
+      return per_message * static_cast<uint64_t>(num_sites);
+    case MsgType::kCoarseReport:
+    case MsgType::kCoinReport:
+    case MsgType::kCorrection:
+    case MsgType::kSplitNotice:
+    case MsgType::kCounterReport:
+    case MsgType::kSampleForward:
+    case MsgType::kRankSummary:
+    case MsgType::kRankResidual:
+      return per_message;
   }
-  return per_message;
+  return per_message;  // unreachable for in-range types
 }
 
 size_t EncodedSize(const Message& msg) {

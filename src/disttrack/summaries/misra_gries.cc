@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "disttrack/common/ordered_drain.h"
+
 namespace disttrack {
 namespace summaries {
 
@@ -24,6 +26,10 @@ void MisraGries::Insert(uint64_t item) {
   // Sketch full and item untracked: decrement every counter (the arriving
   // item's implicit counter of 1 is cancelled together with them).
   ++decrement_events_;
+  // disttrack-lint: allow(unordered-iter) -- proof of harmlessness: every
+  // counter is decremented exactly once and entries reaching zero are
+  // erased; the post-sweep map state is the same set->set function for any
+  // visit order, and nothing (meter, report, export) observes the order.
   for (auto iter = counters_.begin(); iter != counters_.end();) {
     if (--iter->second == 0) {
       iter = counters_.erase(iter);
@@ -39,10 +45,9 @@ uint64_t MisraGries::Estimate(uint64_t item) const {
 }
 
 std::vector<std::pair<uint64_t, uint64_t>> MisraGries::Items() const {
-  std::vector<std::pair<uint64_t, uint64_t>> out;
-  out.reserve(counters_.size());
-  for (const auto& [item, count] : counters_) out.emplace_back(item, count);
-  return out;
+  // Item-id order, not hash order: DeterministicFrequencyTracker folds
+  // this export into its report sweeps, so the order must be stable.
+  return common::SortedItems(counters_);
 }
 
 void MisraGries::Clear() {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "disttrack/common/ordered_drain.h"
+
 namespace disttrack {
 namespace summaries {
 
@@ -34,7 +36,8 @@ void SpaceSaving::Insert(uint64_t item) {
     AttachToBucket(item, 1);
     return;
   }
-  // Evict one minimum-count item; the newcomer inherits its count as error.
+  // Evict the smallest-id minimum-count item (deterministic tie-break);
+  // the newcomer inherits the evicted count as error.
   auto min_bucket = buckets_.begin();
   uint64_t min_count = min_bucket->first;
   uint64_t victim = *min_bucket->second.begin();
@@ -61,10 +64,11 @@ bool SpaceSaving::IsMonitored(uint64_t item) const {
 }
 
 std::vector<std::pair<uint64_t, uint64_t>> SpaceSaving::Items() const {
+  // Item-id order, not hash order (see ordered_drain.h for why).
   std::vector<std::pair<uint64_t, uint64_t>> out;
   out.reserve(entries_.size());
-  for (const auto& [item, entry] : entries_) {
-    out.emplace_back(item, entry.count);
+  for (uint64_t item : common::SortedKeys(entries_)) {
+    out.emplace_back(item, entries_.at(item).count);
   }
   return out;
 }

@@ -9,8 +9,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <set>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace disttrack {
@@ -41,7 +41,7 @@ class SpaceSaving {
   /// Number of insertions so far.
   uint64_t n() const { return n_; }
 
-  /// Monitored (item, counter) pairs, unordered.
+  /// Monitored (item, counter) pairs in ascending item order.
   std::vector<std::pair<uint64_t, uint64_t>> Items() const;
 
   size_t NumCounters() const { return entries_.size(); }
@@ -62,8 +62,12 @@ class SpaceSaving {
   size_t capacity_;
   uint64_t n_ = 0;
   std::unordered_map<uint64_t, Entry> entries_;
-  // count -> set of items with that count; begin() is the eviction victim.
-  std::map<uint64_t, std::unordered_set<uint64_t>> buckets_;
+  // count -> items with that count. Both levels are ordered so the
+  // eviction victim (smallest item id in the minimum-count bucket) is a
+  // deterministic function of the insertion sequence — an unordered_set
+  // here made the evicted identity depend on hash layout, i.e. on the
+  // standard-library version (caught by check_invariants.py).
+  std::map<uint64_t, std::set<uint64_t>> buckets_;
 };
 
 }  // namespace summaries

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "disttrack/common/ordered_drain.h"
+
 namespace disttrack {
 namespace summaries {
 
@@ -38,10 +40,9 @@ bool StickySampling::IsTracked(uint64_t item) const {
 }
 
 std::vector<std::pair<uint64_t, uint64_t>> StickySampling::Items() const {
-  std::vector<std::pair<uint64_t, uint64_t>> out;
-  out.reserve(counters_.size());
-  for (const auto& [item, count] : counters_) out.emplace_back(item, count);
-  return out;
+  // Item-id order, not hash order: callers fold these into reports and
+  // estimate sweeps, so the export order must not depend on hash layout.
+  return common::SortedItems(counters_);
 }
 
 void StickySampling::Clear() {

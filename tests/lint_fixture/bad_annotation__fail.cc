@@ -1,0 +1,17 @@
+// Fixture: a suppression without a reason must produce bad-annotation.
+#include <unordered_map>
+
+namespace disttrack {
+
+struct Summary {
+  std::unordered_map<unsigned long, int> m_;
+
+  int Total() const {
+    int total = 0;
+    // disttrack-lint: allow(unordered-iter)
+    for (const auto& kv : m_) total += kv.second;
+    return total;
+  }
+};
+
+}  // namespace disttrack

@@ -1,0 +1,15 @@
+// Fixture: an annotation that suppresses nothing is stale and must
+// produce bad-annotation.
+namespace disttrack {
+
+struct Summary {
+  int total = 0;
+
+  int Total() const {
+    // disttrack-lint: allow(unordered-iter) -- nothing here iterates an
+    // unordered container, so this annotation is dead weight.
+    return total;
+  }
+};
+
+}  // namespace disttrack

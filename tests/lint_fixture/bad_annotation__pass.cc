@@ -1,0 +1,19 @@
+// Fixture: a well-formed suppression — named rule plus a reason — on a
+// real finding lints clean.
+#include <unordered_map>
+
+namespace disttrack {
+
+struct Summary {
+  std::unordered_map<unsigned long, int> m_;
+
+  int Total() const {
+    int total = 0;
+    // disttrack-lint: allow(unordered-iter) -- order-independent fold:
+    // addition is commutative and nothing observes the visit order.
+    for (const auto& kv : m_) total += kv.second;
+    return total;
+  }
+};
+
+}  // namespace disttrack

@@ -1,0 +1,11 @@
+// Fixture: libc randomness outside common/random.* must produce
+// banned-source.
+#include <cstdlib>
+
+namespace disttrack {
+
+unsigned PickSeed() {
+  return static_cast<unsigned>(rand());  // finding
+}
+
+}  // namespace disttrack

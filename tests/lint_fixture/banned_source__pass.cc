@@ -1,0 +1,21 @@
+// Fixture: member calls that happen to be named like libc sources are
+// fine — the rule only bans the free/std:: spellings.
+namespace disttrack {
+
+struct Wallclock {
+  double seconds = 0;
+};
+
+struct Meter {
+  Wallclock clock_;
+  double elapsed() const { return clock_.seconds; }
+};
+
+struct Probe {
+  double value = 0;
+  double sample() const { return value; }
+};
+
+double ReadProbe(const Probe& p) { return p.sample(); }
+
+}  // namespace disttrack

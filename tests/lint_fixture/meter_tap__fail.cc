@@ -1,0 +1,32 @@
+// Fixture: a CommMeter charge in a tap-wired file with no adjacent tap
+// emit must produce meter-tap. The tap_ member is declared far from the
+// charge so the declaration itself does not satisfy the window.
+namespace disttrack {
+
+struct Meter {
+  void RecordUpload(int site, int words);
+};
+
+struct Tap {
+  virtual ~Tap() = default;
+  virtual void OnMessage(int payload) = 0;
+};
+
+struct Tracker {
+  Meter meter_;
+  Tap* tap_ = nullptr;
+
+  // --- padding so the tap_ declaration sits outside the pairing window
+  int pad_a = 0;
+  int pad_b = 0;
+  int pad_c = 0;
+  int pad_d = 0;
+  int pad_e = 0;
+  int pad_f = 0;
+
+  void Report(int site) {
+    meter_.RecordUpload(site, 1);  // finding: no tap emit nearby
+  }
+};
+
+}  // namespace disttrack

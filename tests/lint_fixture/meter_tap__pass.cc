@@ -1,0 +1,25 @@
+// Fixture: the canonical charge-then-emit pairing lints clean.
+namespace disttrack {
+
+struct Meter {
+  void RecordUpload(int site, int words);
+};
+
+struct Tap {
+  virtual ~Tap() = default;
+  virtual void OnMessage(int payload) = 0;
+};
+
+struct Tracker {
+  Meter meter_;
+  Tap* tap_ = nullptr;
+
+  void Report(int site) {
+    meter_.RecordUpload(site, 1);
+    if (tap_ != nullptr) {
+      tap_->OnMessage(site);
+    }
+  }
+};
+
+}  // namespace disttrack

@@ -1,0 +1,14 @@
+// Fixture: a pointer-typed map key must produce pointer-key.
+#include <map>
+
+namespace disttrack {
+
+struct Node {
+  int value = 0;
+};
+
+struct Index {
+  std::map<Node*, int> by_node_;  // finding
+};
+
+}  // namespace disttrack

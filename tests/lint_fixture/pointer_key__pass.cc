@@ -1,0 +1,22 @@
+// Fixture: keying by a minted id and sorting pointers by a field (not by
+// address) are both fine.
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace disttrack {
+
+struct Node {
+  unsigned long id = 0;
+};
+
+struct Index {
+  std::map<unsigned long, int> by_id_;
+};
+
+void SortById(std::vector<Node*>* nodes) {
+  std::sort(nodes->begin(), nodes->end(),
+            [](const Node* a, const Node* b) { return a->id < b->id; });
+}
+
+}  // namespace disttrack

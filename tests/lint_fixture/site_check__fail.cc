@@ -1,0 +1,14 @@
+// Fixture: a delivery entry point taking a site id with no range check
+// must produce site-check.
+namespace disttrack {
+
+struct Tracker {
+  void Arrive(int site);
+  unsigned long counts_[64] = {};
+};
+
+void Tracker::Arrive(int site) {
+  counts_[site] += 1;  // finding: no CheckSiteInRange before indexing
+}
+
+}  // namespace disttrack

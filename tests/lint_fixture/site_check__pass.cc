@@ -1,0 +1,23 @@
+// Fixture: entry points that validate via sim::CheckSiteInRange (or take
+// no site id at all) lint clean.
+namespace disttrack {
+namespace sim {
+void CheckSiteInRange(int site, int num_sites);
+}  // namespace sim
+
+struct Tracker {
+  void Arrive(int site);
+  void Ingest(unsigned long key);
+  int num_sites_ = 64;
+  unsigned long counts_[64] = {};
+};
+
+void Tracker::Arrive(int site) {
+  sim::CheckSiteInRange(site, num_sites_);
+  counts_[site] += 1;
+}
+
+// Not an Arrive*/Push* name: the rule does not apply.
+void Tracker::Ingest(unsigned long key) { counts_[key % 64] += 1; }
+
+}  // namespace disttrack

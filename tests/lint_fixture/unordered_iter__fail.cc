@@ -1,0 +1,22 @@
+// Fixture: iterating an unordered container must produce unordered-iter.
+#include <unordered_map>
+
+namespace disttrack {
+
+struct Summary {
+  std::unordered_map<unsigned long, unsigned long> counters_;
+
+  unsigned long Total() const {
+    unsigned long total = 0;
+    for (const auto& kv : counters_) total += kv.second;  // finding
+    return total;
+  }
+
+  void Sweep() {
+    for (auto it = counters_.begin(); it != counters_.end();) {  // finding
+      it = counters_.erase(it);
+    }
+  }
+};
+
+}  // namespace disttrack

@@ -1,0 +1,28 @@
+// Fixture: membership probes and iteration over drained (sorted) copies
+// of an unordered container are fine; only direct iteration is banned.
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace disttrack {
+
+struct Summary {
+  std::unordered_map<unsigned long, unsigned long> counters_;
+
+  std::vector<std::pair<unsigned long, unsigned long>> SortedItems() const;
+
+  // find()/end() is the membership idiom, not a walk.
+  bool Has(unsigned long key) const {
+    return counters_.find(key) != counters_.end();
+  }
+
+  unsigned long Total() const {
+    unsigned long total = 0;
+    // The range expression is a call result (a sorted vector), not the
+    // container itself.
+    for (const auto& kv : SortedItems()) total += kv.second;
+    return total;
+  }
+};
+
+}  // namespace disttrack

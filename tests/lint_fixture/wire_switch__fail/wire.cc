@@ -1,0 +1,33 @@
+// kAck is missing from KnownType's switch: the checker must flag it.
+#include "wire.h"
+
+bool KnownType(uint8_t raw_type) {
+  switch (static_cast<MsgType>(raw_type)) {
+    case MsgType::kCoarseReport:
+    case MsgType::kBroadcast:
+      return true;
+  }
+  return false;
+}
+
+bool HasVectors(MsgType type) {
+  switch (type) {
+    case MsgType::kCoarseReport:
+    case MsgType::kBroadcast:
+    case MsgType::kAck:
+      return false;
+  }
+  return false;
+}
+
+unsigned PaperWordCharge(MsgType type, unsigned per_message, int num_sites) {
+  switch (type) {
+    case MsgType::kCoarseReport:
+      return per_message;
+    case MsgType::kBroadcast:
+      return per_message * static_cast<unsigned>(num_sites);
+    case MsgType::kAck:
+      return 0;
+  }
+  return 0;
+}

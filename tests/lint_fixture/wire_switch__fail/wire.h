@@ -1,0 +1,13 @@
+// Miniature wire header for the wire-switch failing fixture.
+#ifndef LINT_FIXTURE_WIRE_SWITCH_FAIL_WIRE_H_
+#define LINT_FIXTURE_WIRE_SWITCH_FAIL_WIRE_H_
+
+#include <cstdint>
+
+enum class MsgType : uint8_t {
+  kCoarseReport = 1,
+  kBroadcast = 2,
+  kAck = 3,
+};
+
+#endif  // LINT_FIXTURE_WIRE_SWITCH_FAIL_WIRE_H_
