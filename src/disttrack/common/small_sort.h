@@ -17,6 +17,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "disttrack/common/simd.h"
+
 namespace disttrack {
 
 namespace small_sort_internal {
@@ -56,10 +58,15 @@ inline void NetworkSort(uint64_t* v, size_t n) {
 /// Sorts v[0, n) ascending; tuned for the short-run regime (see file
 /// comment). Identical output to std::sort for any input. Measured on
 /// the reference container, the network wins up to ~2x below 16
-/// elements and std::sort wins beyond, so that is the cutover.
+/// elements and std::sort wins beyond, so that is the cutover. Runs
+/// 5..16 go through the AVX2 register sort (simd::SortSmall16) when the
+/// vector path is dispatched — padded to a power-of-two width and sorted
+/// branch-free in four ymm registers; the sorted uint64 output is unique,
+/// so the route can never change a tracker estimate (tier A).
 inline void SortRun(uint64_t* v, size_t n) {
   if (n < 2) return;
   if (n <= 16) {
+    if (simd::SortSmall16(v, n)) return;
     small_sort_internal::NetworkSort(v, n);
   } else {
     std::sort(v, v + n);

@@ -31,7 +31,8 @@ RandomizedRankTracker::RandomizedRankTracker(
     : options_(options),
       meter_(options.num_sites),
       space_(options.num_sites),
-      sites_(static_cast<size_t>(options.num_sites)) {
+      sites_(static_cast<size_t>(options.num_sites)),
+      pending_uploads_(static_cast<size_t>(options.num_sites)) {
   for (int i = 0; i < options_.num_sites; ++i) {
     SiteState& s = sites_[static_cast<size_t>(i)];
     s.rng = Rng(options_.seed * 0x8CB92BA72F3D8DD7ull +
@@ -198,8 +199,31 @@ void RandomizedRankTracker::Upload(int site, uint64_t words) {
     ShardSink& sink = shard_sinks_[static_cast<size_t>(site)];
     ++sink.messages;
     sink.words += std::max<uint64_t>(1, words);
+  } else if (defer_uploads_) {
+    // Plain batch in flight: accumulate and post in bulk at batch end.
+    PendingUpload& pending = pending_uploads_[static_cast<size_t>(site)];
+    ++pending.messages;
+    pending.words += std::max<uint64_t>(1, words);
   } else {
+    // disttrack-lint: allow(meter-tap) -- charge-helper: every caller
+    // pairs this charge with its own frame emit (EmitSummaryFrame /
+    // EmitResidualFrame immediately at the call site); the helper
+    // itself has no message payload to tap.
     meter_.RecordUpload(site, words);
+  }
+}
+
+void RandomizedRankTracker::FlushDeferredUploads() {
+  for (int i = 0; i < options_.num_sites; ++i) {
+    PendingUpload& pending = pending_uploads_[static_cast<size_t>(i)];
+    if (pending.messages == 0) continue;
+    // disttrack-lint: allow(meter-tap) -- batch-fold: the scalar path
+    // charges per message; this replays one batch's deferred per-site
+    // charges in bulk with max(1, payload) already applied, and the
+    // deferral is off whenever a tap or replay needs per-message order.
+    meter_.RecordUploadBulk(i, pending.messages, pending.words);
+    pending.messages = 0;
+    pending.words = 0;
   }
 }
 
@@ -255,13 +279,33 @@ void RandomizedRankTracker::FlushNode(int site, SiteState* s, int level,
     size_t total = s->ladder.Pull(0, &s->view_scratch);
     s->leaf_seed_armed = false;  // consumed (or dropped) with this leaf
     if (total == 0) return;
+    if (tap_ == nullptr && !crash_replay_) {
+      // Arena flush: the summary compacts straight into the instance's
+      // shared leaf arena (CompactSortedViewsToWire appends; segment
+      // ends are absolute) and is addressed by a LeafRef — no
+      // per-summary vectors, no pool churn, O(1) chunk-end prune. Taps
+      // and replay keep the StoredSummary path below so wire frames stay
+      // byte-for-byte identical.
+      InstanceData& data = *s->idata;
+      auto values_begin = static_cast<uint32_t>(data.leaf_values.size());
+      auto seg_begin = static_cast<uint32_t>(data.leaf_segments.size());
+      uint64_t words = summaries::CompactSortedViewsToWire(
+          LevelEps(0), s->leaf_seed, s->view_scratch.data(),
+          s->view_scratch.size(), total, &s->leaf_scratch,
+          &s->leaf_scratch2, &data.leaf_values, &data.leaf_segments);
+      data.leaf_refs.push_back(
+          LeafRef{node_start, end_leaf, values_begin, seg_begin,
+                  static_cast<uint32_t>(data.leaf_segments.size())});
+      Upload(site, words);
+      return;
+    }
     StoredSummary stored = TakeStored(s);
     stored.first_leaf = node_start;
     stored.end_leaf = end_leaf;
     uint64_t words = summaries::CompactSortedViewsToWire(
         LevelEps(0), s->leaf_seed, s->view_scratch.data(),
-        s->view_scratch.size(), total, &s->leaf_scratch, &stored.values,
-        &stored.segments);
+        s->view_scratch.size(), total, &s->leaf_scratch, &s->leaf_scratch2,
+        &stored.values, &stored.segments);
     Upload(site, words);
     EmitSummaryFrame(site, stored, words);
     if (crash_replay_) {
@@ -559,6 +603,13 @@ inline void RandomizedRankTracker::ProcessArrival(int site, uint64_t value) {
         }
         data.summaries.clear();
         data.summaries.push_back(std::move(keep));
+        // Every arena leaf summary is covered by the kept top summary;
+        // the whole prune is three O(1) clears. (When the top summary
+        // itself lives in the arena — height 0 — the find_if above
+        // misses and the single covering ref stays.)
+        data.leaf_values.clear();
+        data.leaf_segments.clear();
+        data.leaf_refs.clear();
       }
       StartFreshInstance(&s);
     } else {
@@ -817,41 +868,46 @@ void RandomizedRankTracker::ArriveBatch(const sim::Arrival* arrivals,
   }
   // n_ is advanced up front; nothing inside the batch reads it.
   n_ += count;
+  // Amortize the per-leaf meter charges: no tap or replay is attached
+  // (shard epochs never enter here), so message order inside the batch is
+  // unobservable and the charges fold into one bulk post per site.
+  defer_uploads_ = tap_ == nullptr && !crash_replay_;
   if (!options_.use_site_grouping) {
     CountdownChunk(arrivals, count);
-    FlushBufferedRuns();
-    return;
-  }
-  // Site-grouped delivery: chunks certified broadcast-free are permuted
-  // into site-contiguous spans and fed span-at-a-time (cache-resident
-  // per-site state); chunks that may broadcast run through the countdown
-  // engine unchanged. Either way runs feed at the same boundaries, so
-  // the two engines interleave bit-identically.
-  size_t pos = 0;
-  while (pos < count) {
-    size_t len = std::min(kSiteGroupChunk, count - pos);
-    grouper_.ScatterBySite(arrivals + pos, len, options_.num_sites);
-    // Eventless runs buffered from earlier chunks of this batch have not
-    // advanced the coarse tracker yet; this chunk's events may feed them
-    // through it, so they count against the broadcast projection.
-    run_carry_.resize(static_cast<size_t>(options_.num_sites));
-    for (int i = 0; i < options_.num_sites; ++i) {
-      run_carry_[static_cast<size_t>(i)] =
-          sites_[static_cast<size_t>(i)].run.size();
-    }
-    if (coarse_->BatchCannotBroadcast(grouper_.histogram(),
-                                      run_carry_.data())) {
-      grouped_chunk_active_ = true;
-      for (const SiteGrouper::Span& span : grouper_.spans()) {
-        GroupedSpan(span.site, span.data, span.length);
+  } else {
+    // Site-grouped delivery: chunks certified broadcast-free are permuted
+    // into site-contiguous spans and fed span-at-a-time (cache-resident
+    // per-site state); chunks that may broadcast run through the countdown
+    // engine unchanged. Either way runs feed at the same boundaries, so
+    // the two engines interleave bit-identically.
+    size_t pos = 0;
+    while (pos < count) {
+      size_t len = std::min(kSiteGroupChunk, count - pos);
+      grouper_.ScatterBySite(arrivals + pos, len, options_.num_sites);
+      // Eventless runs buffered from earlier chunks of this batch have not
+      // advanced the coarse tracker yet; this chunk's events may feed them
+      // through it, so they count against the broadcast projection.
+      run_carry_.resize(static_cast<size_t>(options_.num_sites));
+      for (int i = 0; i < options_.num_sites; ++i) {
+        run_carry_[static_cast<size_t>(i)] =
+            sites_[static_cast<size_t>(i)].run.size();
       }
-      grouped_chunk_active_ = false;
-    } else {
-      CountdownChunk(arrivals + pos, len);
+      if (coarse_->BatchCannotBroadcast(grouper_.histogram(),
+                                        run_carry_.data())) {
+        grouped_chunk_active_ = true;
+        for (const SiteGrouper::Span& span : grouper_.spans()) {
+          GroupedSpan(span.site, span.data, span.length);
+        }
+        grouped_chunk_active_ = false;
+      } else {
+        CountdownChunk(arrivals + pos, len);
+      }
+      pos += len;
     }
-    pos += len;
   }
   FlushBufferedRuns();
+  defer_uploads_ = false;
+  FlushDeferredUploads();
 }
 
 double RandomizedRankTracker::SummaryRankBelow(const StoredSummary& summary,
@@ -868,12 +924,35 @@ double RandomizedRankTracker::SummaryRankBelow(const StoredSummary& summary,
   return static_cast<double>(below);
 }
 
+double RandomizedRankTracker::LeafRankBelow(const InstanceData& data,
+                                            const LeafRef& ref, uint64_t x) {
+  // Arena-resident twin of SummaryRankBelow: the ref's segment slice
+  // carries absolute end offsets into the shared value array.
+  uint64_t below = 0;
+  uint32_t begin = ref.values_begin;
+  for (uint32_t si = ref.seg_begin; si < ref.seg_end; ++si) {
+    const auto& [weight, end] = data.leaf_segments[si];
+    auto first = data.leaf_values.begin() + begin;
+    auto last = data.leaf_values.begin() + end;
+    below += weight * static_cast<uint64_t>(std::lower_bound(first, last, x) -
+                                            first);
+    begin = end;
+  }
+  return static_cast<double>(below);
+}
+
 double RandomizedRankTracker::EstimateRank(uint64_t value) const {
   double est = 0;
   for (const SiteState& site_state : sites_) {
     for (const InstanceData& data : site_state.owned_instances) {
-      // Greedy maximal dyadic cover of the completed-leaf prefix.
+      // Greedy maximal dyadic cover of the completed-leaf prefix, over
+      // the owned summaries and the arena leaf refs together. Refs are
+      // in leaf order, so they are consumed by one monotone index; on a
+      // range tie the ref wins, matching the StoredSummary-only scan
+      // (which kept the level-0 summary, pushed first) so both storage
+      // layouts sum the identical ranges in the identical order.
       uint32_t cursor = 0;
+      size_t ref_i = 0;
       for (;;) {
         const StoredSummary* best = nullptr;
         for (const StoredSummary& stored : data.summaries) {
@@ -881,6 +960,21 @@ double RandomizedRankTracker::EstimateRank(uint64_t value) const {
               (best == nullptr || stored.end_leaf > best->end_leaf)) {
             best = &stored;
           }
+        }
+        while (ref_i < data.leaf_refs.size() &&
+               data.leaf_refs[ref_i].first_leaf < cursor) {
+          ++ref_i;
+        }
+        const LeafRef* ref = ref_i < data.leaf_refs.size() &&
+                                     data.leaf_refs[ref_i].first_leaf ==
+                                         cursor
+                                 ? &data.leaf_refs[ref_i]
+                                 : nullptr;
+        if (ref != nullptr &&
+            (best == nullptr || ref->end_leaf >= best->end_leaf)) {
+          est += LeafRankBelow(data, *ref, value);
+          cursor = ref->end_leaf;
+          continue;
         }
         if (best == nullptr) break;
         est += SummaryRankBelow(*best, value);

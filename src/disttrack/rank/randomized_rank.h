@@ -210,6 +210,18 @@ class RandomizedRankTracker : public sim::RankTrackerInterface,
     uint64_t value;
   };
 
+  // One leaf summary stored in the instance's shared arena (below): a
+  // slice of leaf_values / leaf_segments instead of an owned
+  // StoredSummary. Refs land in leaf order, so the estimator's dyadic
+  // cover advances through them monotonically.
+  struct LeafRef {
+    uint32_t first_leaf;
+    uint32_t end_leaf;
+    uint32_t values_begin;
+    uint32_t seg_begin;
+    uint32_t seg_end;
+  };
+
   // Everything the coordinator holds for one instance of algorithm C.
   struct InstanceData {
     std::vector<StoredSummary> summaries;
@@ -218,6 +230,15 @@ class RandomizedRankTracker : public sim::RankTrackerInterface,
     // advancing this offset — the estimator reads [residual_begin, end).
     size_t residual_begin = 0;
     double inv_p = 1.0;  // 1/p of the instance's round
+    // Leaf-summary arena (node-less flush, no tap/replay): every level-0
+    // summary of the instance appends to these two flat vectors —
+    // segment ends are absolute offsets into leaf_values — and is
+    // addressed by a LeafRef. One leaf flush then costs two amortized
+    // appends instead of two per-summary vector allocations, and the
+    // chunk-end prune of all covered leaves is three O(1) clears.
+    std::vector<uint64_t> leaf_values;
+    std::vector<std::pair<uint64_t, uint32_t>> leaf_segments;
+    std::vector<LeafRef> leaf_refs;
   };
 
 
@@ -266,7 +287,9 @@ class RandomizedRankTracker : public sim::RankTrackerInterface,
     // wire (summaries::CompactSortedViewsToWire) with those coins.
     uint64_t leaf_seed = 0;
     bool leaf_seed_armed = false;
-    std::vector<uint64_t> leaf_scratch;  // multi-view merge scratch
+    // Multi-view merge scratch pair for CompactSortedViewsToWire.
+    std::vector<uint64_t> leaf_scratch;
+    std::vector<uint64_t> leaf_scratch2;
     // Lower bound on the appends until some level's next pull threshold;
     // PumpLevels skips its level scan while the bound stays positive.
     uint64_t pull_slack = 0;
@@ -330,6 +353,12 @@ class RandomizedRankTracker : public sim::RankTrackerInterface,
                         uint64_t words);
   void EmitResidualFrame(int site, uint32_t leaf, uint64_t value);
   static double SummaryRankBelow(const StoredSummary& summary, uint64_t x);
+  // SummaryRankBelow over an arena-resident leaf summary.
+  static double LeafRankBelow(const InstanceData& data, const LeafRef& ref,
+                              uint64_t x);
+  // Posts the batch's deferred per-site upload charges in one
+  // RecordUploadBulk per site (see pending_uploads_).
+  void FlushDeferredUploads();
 
   // --- Sharded replay (sim::KeyedShardIngest) ----------------------------
   void ShardEpochBegin(uint64_t arrivals_in_epoch) override;
@@ -364,6 +393,19 @@ class RandomizedRankTracker : public sim::RankTrackerInterface,
   std::vector<ShardSink> shard_sinks_;
   bool shard_mode_ = false;
   sim::wire::WireTap* tap_ = nullptr;
+
+  // Batched upload amortization: while a plain ArriveBatch runs (no tap,
+  // no replay, no shard epoch — the modes with their own per-message or
+  // per-epoch accounting), Upload() accumulates (messages, charged
+  // words) per site here and the batch end posts one RecordUploadBulk
+  // per site. Meter totals at every public observation point (queries
+  // only happen between batches) are identical to per-message charging.
+  struct PendingUpload {
+    uint64_t messages = 0;
+    uint64_t words = 0;  // with max(1, payload) applied per message
+  };
+  bool defer_uploads_ = false;
+  std::vector<PendingUpload> pending_uploads_;
 
   // Crash-replay bookkeeping (see BeginCrashReplay). The cursor walks
   // the crashed site's pre-existing owned_instances as the replay

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "disttrack/common/simd.h"
+
 namespace disttrack {
 namespace summaries {
 
@@ -19,31 +21,81 @@ size_t CapacityFor(double eps) {
   return s;
 }
 
-// Element at sorted position `i` (0-based) of the stable merge of two
-// ascending arrays — the classic two-array selection: binary-search the
-// split point j (elements taken from A among the first i+1 of the merge),
-// O(log min(a, b)) per access. Equal values are interchangeable for a
-// value array, so tie placement cannot matter.
-inline uint64_t MergedAt(const uint64_t* A, size_t a, const uint64_t* B,
-                         size_t b, size_t i) {
-  size_t need = i + 1;
-  size_t lo = need > b ? need - b : 0;
-  size_t hi = need < a ? need : a;
-  while (lo < hi) {
-    size_t j = (lo + hi) / 2;
-    if (A[j] < B[need - j - 1]) {
-      lo = j + 1;
-    } else {
-      hi = j;
+// Accessors for the virtual-cascade get contract: At(i) is element i of
+// a fully sorted logical sequence, and Gather(offset, stride, count,
+// out) materializes the strided slice the cascade keeps. Gather is where
+// the vector work lands — the two-view accessor batches its merge-path
+// selections four lanes at a time through simd::TwoViewSelect4 (masked
+// gather-based binary search under AVX2 dispatch, scalar mirror
+// otherwise) instead of one log-time scalar search per element. All
+// routes keep the selected values exact, so dispatch can never change a
+// tracker estimate (tier A).
+
+// A bare sorted array.
+struct DirectGet {
+  const uint64_t* d;
+  uint64_t At(size_t i) const { return d[i]; }
+  void Gather(size_t offset, size_t stride, size_t count,
+              uint64_t* out) const {
+    for (size_t i = 0; i < count; ++i) out[i] = d[offset + i * stride];
+  }
+};
+
+// The merge of two ascending arrays, read by sorted position via
+// two-array selection (binary-search the split point j — elements taken
+// from A among the first i+1 of the merge — O(log min(a, b)) per
+// access). Equal values are interchangeable for a value array, so tie
+// placement cannot matter.
+struct TwoViewGet {
+  const uint64_t* A;
+  size_t a;
+  const uint64_t* B;
+  size_t b;
+  uint64_t At(size_t i) const { return simd::TwoViewSelect(A, a, B, b, i); }
+  void Gather(size_t offset, size_t stride, size_t count,
+              uint64_t* out) const {
+    size_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+      size_t idx[4] = {offset + i * stride, offset + (i + 1) * stride,
+                       offset + (i + 2) * stride,
+                       offset + (i + 3) * stride};
+      simd::TwoViewSelect4(A, a, B, b, idx, out + i);
+    }
+    for (; i < count; ++i) out[i] = At(offset + i * stride);
+  }
+};
+
+// Splices one residue value `v` in at logical position `p` of an inner
+// sorted sequence — the level-0 straggler a virtual cascade must still
+// account for.
+template <class Inner>
+struct ResidueGet {
+  Inner inner;
+  size_t p;
+  uint64_t v;
+  uint64_t At(size_t i) const {
+    return i < p ? inner.At(i) : (i == p ? v : inner.At(i - 1));
+  }
+  void Gather(size_t offset, size_t stride, size_t count,
+              uint64_t* out) const {
+    // Gathered indices are strictly increasing, so they split at p: a
+    // prefix below it, at most one hit, and a shifted suffix above —
+    // each side stays one strided inner gather.
+    size_t below = 0;
+    if (offset < p) {
+      below = std::min(count, (p - offset + stride - 1) / stride);
+    }
+    if (below > 0) inner.Gather(offset, stride, below, out);
+    size_t i = below;
+    if (i < count && offset + i * stride == p) {
+      out[i] = v;
+      ++i;
+    }
+    if (i < count) {
+      inner.Gather(offset + i * stride - 1, stride, count - i, out + i);
     }
   }
-  size_t j = lo;
-  if (j == 0) return B[need - 1];
-  if (need == j) return A[j - 1];
-  uint64_t va = A[j - 1];
-  uint64_t vb = B[need - j - 1];
-  return va > vb ? va : vb;
-}
+};
 
 }  // namespace
 
@@ -124,17 +176,13 @@ void CompactorSummary::InsertSortedViews(const RunView* views,
           d = views[0].data;
         }
         if (base_size == 0) {
-          continue_normal =
-              CascadeVirtual([d](size_t i) { return d[i]; }, total);
+          continue_normal = CascadeVirtual(DirectGet{d}, total);
         } else {
           uint64_t v = levels_[0][0];
           size_t p =
               static_cast<size_t>(std::lower_bound(d, d + total, v) - d);
           continue_normal = CascadeVirtual(
-              [d, p, v](size_t i) {
-                return i < p ? d[i] : (i == p ? v : d[i - 1]);
-              },
-              total + 1);
+              ResidueGet<DirectGet>{DirectGet{d}, p, v}, total + 1);
         }
       } else {
         const uint64_t* A = views[0].data;
@@ -142,19 +190,14 @@ void CompactorSummary::InsertSortedViews(const RunView* views,
         const uint64_t* B = views[1].data;
         size_t b = views[1].size;
         if (base_size == 0) {
-          continue_normal = CascadeVirtual(
-              [A, a, B, b](size_t i) { return MergedAt(A, a, B, b, i); },
-              total);
+          continue_normal = CascadeVirtual(TwoViewGet{A, a, B, b}, total);
         } else {
           uint64_t v = levels_[0][0];
           size_t p =
               static_cast<size_t>(std::lower_bound(A, A + a, v) - A) +
               static_cast<size_t>(std::lower_bound(B, B + b, v) - B);
           continue_normal = CascadeVirtual(
-              [A, a, B, b, p, v](size_t i) {
-                return i < p ? MergedAt(A, a, B, b, i)
-                             : (i == p ? v : MergedAt(A, a, B, b, i - 1));
-              },
+              ResidueGet<TwoViewGet>{TwoViewGet{A, a, B, b}, p, v},
               total + 1);
         }
       }
@@ -296,8 +339,7 @@ void CompactorSummary::FinishVirtualCascade(bool continue_normal) {
 void CompactorSummary::CascadeSortedBase() {
   const uint64_t* data = levels_[0].data();
   bool continue_normal =
-      CascadeVirtual([data](size_t i) { return data[i]; },
-                     levels_[0].size());
+      CascadeVirtual(DirectGet{data}, levels_[0].size());
   // Collapse level 0 to its straggler last — the accessor read from it
   // until here.
   auto& base = levels_[0];
@@ -312,8 +354,10 @@ void CompactorSummary::CascadeSortedBase() {
   if (continue_normal) Cascade();
 }
 
-// The virtual-cascade core. `get(i)` indexes a fully sorted sequence of
-// `len` >= capacity elements that logically sits in level 0. Compacting
+// The virtual-cascade core. `get` is one of the accessors above:
+// get.At(i) indexes a fully sorted sequence of `len` >= capacity
+// elements that logically sits in level 0, and get.Gather materializes
+// strided slices of it in bulk (vectorized for the two-view shape). Compacting
 // it the element-moving way would sort-promote-merge its way up level by
 // level, yet while the upper levels are empty the composition of those
 // stride-2 promotions is itself a strided slice of the sorted sequence:
@@ -348,7 +392,7 @@ bool CompactorSummary::CascadeVirtual(GetFn get, size_t len) {
     if (len > take) {
       // Odd straggler stays behind at this virtual level.
       straggler_scratch_.emplace_back(level,
-                                      get(offset + (len - 1) * stride));
+                                      get.At(offset + (len - 1) * stride));
     }
     size_t promoted = take / 2;
     if (coin) offset += stride;
@@ -359,15 +403,13 @@ bool CompactorSummary::CascadeVirtual(GetFn get, size_t len) {
       // Real content ahead: gather the promotion, merge, and let the
       // ordinary cascade finish from here.
       promote_buf_.resize(promoted);
-      for (size_t i = 0; i < promoted; ++i) {
-        promote_buf_[i] = get(offset + i * stride);
-      }
+      get.Gather(offset, stride, promoted, promote_buf_.data());
       EnsureSorted(level);
       auto& up = levels_[level];
       size_t up_size = up.size() + promoted;
       GrowScratch(up_size);
-      std::merge(up.begin(), up.end(), promote_buf_.begin(),
-                 promote_buf_.end(), merge_buf_.begin());
+      simd::MergeSorted(up.data(), up.size(), promote_buf_.data(), promoted,
+                        merge_buf_.data());
       up.assign(merge_buf_.data(), merge_buf_.data() + up_size);
       sorted_[level] = up_size;
       seg_bounds_[level].clear();
@@ -380,7 +422,7 @@ bool CompactorSummary::CascadeVirtual(GetFn get, size_t len) {
     // Materialize the first sub-capacity slice into its (empty) level.
     auto& stop = levels_[level];
     stop.resize(len);
-    for (size_t i = 0; i < len; ++i) stop[i] = get(offset + i * stride);
+    get.Gather(offset, stride, len, stop.data());
     sorted_[level] = len;
     seg_bounds_[level].clear();
     seg_dirty_[level] = 0;
@@ -422,11 +464,9 @@ const uint64_t* CompactorSummary::MergeGatheredSrcs(size_t out_size) {
     result = view_merge_srcs_[0].first;
   } else if (nsrc == 2) {
     GrowScratch(out_size);
-    std::merge(view_merge_srcs_[0].first,
-               view_merge_srcs_[0].first + view_merge_srcs_[0].second,
-               view_merge_srcs_[1].first,
-               view_merge_srcs_[1].first + view_merge_srcs_[1].second,
-               merge_buf_.begin());
+    simd::MergeSorted(view_merge_srcs_[0].first, view_merge_srcs_[0].second,
+                      view_merge_srcs_[1].first, view_merge_srcs_[1].second,
+                      merge_buf_.data());
     result = merge_buf_.data();
   } else {
     GrowScratch(out_size);
@@ -445,8 +485,7 @@ const uint64_t* CompactorSummary::MergeGatheredSrcs(size_t out_size) {
     for (size_t i = 0; i + 1 < nsrc; i += 2) {
       const auto& a = view_merge_srcs_[i];
       const auto& b = view_merge_srcs_[i + 1];
-      std::merge(a.first, a.first + a.second, b.first, b.first + b.second,
-                 out + produced);
+      simd::MergeSorted(a.first, a.second, b.first, b.second, out + produced);
       produced += a.second + b.second;
       bounds.push_back(produced);
     }
@@ -463,7 +502,7 @@ const uint64_t* CompactorSummary::MergeGatheredSrcs(size_t out_size) {
       size_t r = 0;
       for (; r + 2 < bounds.size(); r += 2) {
         size_t lo = bounds[r], mid = bounds[r + 1], hi = bounds[r + 2];
-        std::merge(src + lo, src + mid, src + mid, src + hi, dst + lo);
+        simd::MergeSorted(src + lo, mid - lo, src + mid, hi - mid, dst + lo);
         bounds[++kept] = hi;
       }
       if (r + 1 < bounds.size()) {
@@ -544,7 +583,7 @@ void CompactorSummary::SortTail(std::vector<uint64_t>* buf, size_t from,
     size_t r = 0;
     for (; r + 2 < bounds.size(); r += 2) {
       size_t lo = bounds[r], mid = bounds[r + 1], hi = bounds[r + 2];
-      std::merge(src + lo, src + mid, src + mid, src + hi, dst + lo);
+      simd::MergeSorted(src + lo, mid - lo, src + mid, hi - mid, dst + lo);
       bounds[++out] = hi;  // overwrite in place: bounds[0] stays 0
     }
     if (r + 1 < bounds.size()) {
@@ -576,9 +615,8 @@ void CompactorSummary::MergeSortedTail(std::vector<uint64_t>* buf,
     return;
   }
   GrowScratch(buf->size());
-  std::merge(buf->begin(), buf->begin() + static_cast<long>(mid),
-             buf->begin() + static_cast<long>(mid), buf->end(),
-             merge_buf_.begin());
+  simd::MergeSorted(data, mid, data + mid, buf->size() - mid,
+                    merge_buf_.data());
   buf->assign(merge_buf_.data(), merge_buf_.data() + buf->size());
 }
 
@@ -618,8 +656,8 @@ void CompactorSummary::CompactLevel(size_t level) {
     for (size_t i = offset; i < take; i += 2) promote_buf_[out++] = buf[i];
     size_t up_size = up.size() + promoted;
     GrowScratch(up_size);
-    std::merge(up.begin(), up.end(), promote_buf_.begin(),
-               promote_buf_.end(), merge_buf_.begin());
+    simd::MergeSorted(up.data(), up.size(), promote_buf_.data(), promoted,
+                      merge_buf_.data());
     up.assign(merge_buf_.data(), merge_buf_.data() + up_size);
   }
   sorted_[level + 1] = up.size();
@@ -792,17 +830,17 @@ void MergeViewsSimple(const RunView* views, size_t num_views,
 uint64_t CompactSortedViewsToWire(
     double eps, uint64_t seed, const RunView* views, size_t num_views,
     size_t total, std::vector<uint64_t>* scratch,
-    std::vector<uint64_t>* values,
+    std::vector<uint64_t>* scratch2, std::vector<uint64_t>* values,
     std::vector<std::pair<uint64_t, uint32_t>>* segments) {
-  values->clear();
-  segments->clear();
   size_t capacity = CapacityFor(eps);
+  size_t before = values->size();
   if (total < capacity) {
     // Sub-capacity window: one weight-1 segment, no compaction coins —
     // exactly the fused sub-threshold export of InsertViewsAndExport on
     // a fresh summary.
-    MergeViewsSimple(views, num_views, values, scratch);
-    if (!values->empty()) {
+    MergeViewsSimple(views, num_views, scratch, scratch2);
+    values->insert(values->end(), scratch->begin(), scratch->end());
+    if (total > 0) {
       segments->emplace_back(1, static_cast<uint32_t>(values->size()));
     }
     return static_cast<uint64_t>(total) + 2;
@@ -810,62 +848,54 @@ uint64_t CompactSortedViewsToWire(
   // The virtual cascade of a fresh summary: every upper level is empty,
   // so the descent runs to the first sub-capacity slice, materializing
   // one odd straggler per virtualized level. Same coins, same kept
-  // elements as CompactorSummary::CascadeVirtual.
-  const uint64_t* single = nullptr;
-  const uint64_t* A = nullptr;
-  const uint64_t* B = nullptr;
-  size_t a = 0;
-  size_t b = 0;
-  if (num_views == 1) {
-    single = views[0].data;
-  } else if (num_views == 2) {
-    A = views[0].data;
-    a = views[0].size;
-    B = views[1].data;
-    b = views[1].size;
-  } else {
-    MergeViewsSimple(views, num_views, scratch, values);
-    values->clear();
-    single = scratch->data();
-  }
-  auto get = [&](size_t i) {
-    return single != nullptr ? single[i] : MergedAt(A, a, B, b, i);
-  };
-  Rng rng(seed);
-  uint64_t straggler[64];
-  bool has_straggler[64] = {false};
-  size_t stride = 1;
-  size_t offset = 0;
-  size_t level = 0;
-  size_t len = total;
-  while (len >= capacity) {
-    size_t take = len & ~size_t{1};
-    bool coin = rng.Bernoulli(0.5);
-    if (len > take) {
-      straggler[level] = get(offset + (len - 1) * stride);
-      has_straggler[level] = true;
+  // elements as CompactorSummary::CascadeVirtual, with the surviving
+  // slice pulled through the accessor's bulk Gather (vectorized
+  // merge-path selection for the two-view shape).
+  auto run = [&](auto get) -> uint64_t {
+    Rng rng(seed);
+    uint64_t straggler[64];
+    bool has_straggler[64] = {false};
+    size_t stride = 1;
+    size_t offset = 0;
+    size_t level = 0;
+    size_t len = total;
+    while (len >= capacity) {
+      size_t take = len & ~size_t{1};
+      bool coin = rng.Bernoulli(0.5);
+      if (len > take) {
+        straggler[level] = get.At(offset + (len - 1) * stride);
+        has_straggler[level] = true;
+      }
+      if (coin) offset += stride;
+      stride *= 2;
+      len = take / 2;
+      ++level;
     }
-    if (coin) offset += stride;
-    stride *= 2;
-    len = take / 2;
-    ++level;
-  }
-  // Emit ascending levels: stragglers below, the surviving slice at the
-  // stop level (which never carries a straggler).
-  for (size_t l = 0; l < level; ++l) {
-    if (!has_straggler[l]) continue;
-    values->push_back(straggler[l]);
-    segments->emplace_back(uint64_t{1} << l,
+    // Emit ascending levels: stragglers below, the surviving slice at
+    // the stop level (which never carries a straggler).
+    for (size_t l = 0; l < level; ++l) {
+      if (!has_straggler[l]) continue;
+      values->push_back(straggler[l]);
+      segments->emplace_back(uint64_t{1} << l,
+                             static_cast<uint32_t>(values->size()));
+    }
+    size_t out = values->size();
+    values->resize(out + len);
+    get.Gather(offset, stride, len, values->data() + out);
+    segments->emplace_back(uint64_t{1} << level,
                            static_cast<uint32_t>(values->size()));
+    // One word per item plus a length header per level in use plus one —
+    // SerializedWords() of the equivalent post-ingest summary.
+    return static_cast<uint64_t>(values->size() - before) + (level + 1) +
+           1;
+  };
+  if (num_views == 1) return run(DirectGet{views[0].data});
+  if (num_views == 2) {
+    return run(TwoViewGet{views[0].data, views[0].size, views[1].data,
+                          views[1].size});
   }
-  for (size_t i = 0; i < len; ++i) {
-    values->push_back(get(offset + i * stride));
-  }
-  segments->emplace_back(uint64_t{1} << level,
-                         static_cast<uint32_t>(values->size()));
-  // One word per item plus a length header per level in use plus one —
-  // SerializedWords() of the equivalent post-ingest summary.
-  return static_cast<uint64_t>(values->size()) + (level + 1) + 1;
+  MergeViewsSimple(views, num_views, scratch, scratch2);
+  return run(DirectGet{scratch->data()});
 }
 
 void CompactorSummary::Reset(uint64_t seed) {

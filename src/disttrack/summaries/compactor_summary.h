@@ -264,17 +264,20 @@ class CompactorSummary {
 /// "ingest one window, cascade once, export once, reset": this routine
 /// performs exactly that without ever materializing the CompactorSummary
 /// object. It cascades a fully sorted window (given as 1..n borrowed
-/// ascending views totalling `total` elements; `scratch` merges
-/// multi-view windows) with per-level capacity derived from `eps`
+/// ascending views totalling `total` elements; `scratch` and `scratch2`
+/// merge multi-view windows) with per-level capacity derived from `eps`
 /// straight into the wire format, drawing from a generator seeded with
 /// `seed` exactly the per-level coins a fresh CompactorSummary ingesting
 /// the same window would draw — so the shipped summary, its serialized
 /// word count (the return value), and the site RNG stream are
-/// bit-identical to the node-based flush it replaces.
+/// bit-identical to the node-based flush it replaces. APPENDS to
+/// *values / *segments (segment ends are absolute offsets into *values),
+/// so one arena can accumulate many leaf summaries; callers wanting a
+/// lone summary clear both first.
 uint64_t CompactSortedViewsToWire(
     double eps, uint64_t seed, const RunView* views, size_t num_views,
     size_t total, std::vector<uint64_t>* scratch,
-    std::vector<uint64_t>* values,
+    std::vector<uint64_t>* scratch2, std::vector<uint64_t>* values,
     std::vector<std::pair<uint64_t, uint32_t>>* segments);
 
 }  // namespace summaries

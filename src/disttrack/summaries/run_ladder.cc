@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "disttrack/common/simd.h"
+
 namespace disttrack {
 namespace summaries {
 
@@ -108,8 +110,11 @@ size_t RunLadder::Pull(size_t cursor, std::vector<RunView>* views) {
     Run& b = runs_[best + 1];
     std::vector<uint64_t> merged = TakeBuffer();
     merged.resize(a.values.size() + b.values.size());
-    std::merge(a.values.begin(), a.values.end(), b.values.begin(),
-               b.values.end(), merged.begin());
+    // Gap-merge inner loop: blockwise bitonic merge under AVX2 dispatch,
+    // byte-identical output to std::merge (uint64 values are compared
+    // wholesale, so stability cannot matter).
+    simd::MergeSorted(a.values.data(), a.values.size(), b.values.data(),
+                      b.values.size(), merged.data());
     Recycle(std::move(a.values));
     a.values = std::move(merged);
     Recycle(std::move(b.values));
@@ -155,8 +160,8 @@ void RunLadder::MergeTail() {
     if (CursorAt(b.start)) break;
     std::vector<uint64_t> merged = TakeBuffer();
     merged.resize(a.values.size() + b.values.size());
-    std::merge(a.values.begin(), a.values.end(), b.values.begin(),
-               b.values.end(), merged.begin());
+    simd::MergeSorted(a.values.data(), a.values.size(), b.values.data(),
+                      b.values.size(), merged.data());
     Recycle(std::move(a.values));
     a.values = std::move(merged);
     Recycle(std::move(b.values));

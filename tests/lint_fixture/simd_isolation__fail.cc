@@ -1,0 +1,13 @@
+// simd-isolation fail fixture: a raw AVX2 intrinsic outside
+// common/simd.h forks the scalar/SIMD behavior and must be flagged.
+
+#include <immintrin.h>
+
+namespace disttrack {
+
+long long FirstLane(const long long* p) {
+  __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  return _mm256_extract_epi64(v, 0);
+}
+
+}  // namespace disttrack
